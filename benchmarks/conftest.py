@@ -1,0 +1,44 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+The figure benches share one group-size sweep (computed once per session) so
+that `pytest benchmarks/ --benchmark-only` stays minutes-scale.  The sweep
+runs at a reduced statistical scale; the shapes it asserts are the same ones
+the full `gmp-repro all --scale paper` run reproduces (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentScale, PaperConfig
+from repro.experiments.figures import run_group_size_sweep
+
+#: Physical setup used by the benches: Table 1 with a smaller deployment so
+#: PBM's lambda sweep stays fast.
+BENCH_CONFIG = PaperConfig(node_count=400)
+
+#: Statistical scale for the benches.
+BENCH_SCALE = ExperimentScale(
+    name="bench",
+    network_count=1,
+    tasks_per_network=12,
+    group_sizes=(5, 12, 20),
+    lambdas=(0.0, 0.3, 0.6),
+    density_node_counts=(140, 180, 260, 400),
+)
+
+
+@pytest.fixture(scope="session")
+def bench_sweep():
+    """The shared Figure-11/12/14 sweep."""
+    return run_group_size_sweep(BENCH_CONFIG, BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return BENCH_CONFIG
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE

@@ -1,0 +1,35 @@
+"""Figure 11 — total number of hops in the multicast tree vs. group size.
+
+Paper claims reproduced here (shape, not absolute numbers):
+* GMP uses the fewest transmissions of all protocols at every k;
+* GMP beats even the centralized SMT baseline;
+* radio-range awareness matters: GMP is well below GMPnr (~25% in the paper);
+* PBM (per-task best lambda) and LGS sit clearly above GMP.
+"""
+
+from repro.experiments.figures import figure11
+from repro.experiments.report import render_figure_table
+
+
+def test_figure11_total_hops(benchmark, bench_sweep):
+    fig = benchmark.pedantic(figure11, args=(bench_sweep,), rounds=1, iterations=1)
+    print()
+    print(render_figure_table(fig))
+
+    for k in fig.xs():
+        gmp = fig.value("GMP", k)
+        assert gmp <= fig.value("LGS", k) * 1.03, f"GMP not <= LGS at k={k}"
+        assert gmp < fig.value("PBM", k), f"GMP not < PBM at k={k}"
+        assert gmp < fig.value("GMPnr", k), f"GMP not < GMPnr at k={k}"
+        assert gmp <= fig.value("SMT", k) * 1.03, f"GMP not <= SMT at k={k}"
+
+    # The radio-awareness gap grows with k and is substantial at k=20
+    # (the paper reports up to ~25%).
+    k_max = max(fig.xs())
+    saving_vs_gmpnr = 1.0 - fig.value("GMP", k_max) / fig.value("GMPnr", k_max)
+    assert saving_vs_gmpnr > 0.10
+
+    # Total hops grow with the group size for every protocol.
+    for label in fig.labels():
+        series = [fig.value(label, k) for k in fig.xs()]
+        assert series == sorted(series), f"{label} totals not monotone in k"

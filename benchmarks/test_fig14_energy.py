@@ -1,0 +1,32 @@
+"""Figure 14 — total energy cost vs. group size.
+
+Energy is the Section-5.3 model: sender transmission power plus receive
+power for every node inside the sender's radio range, per transmission.
+The paper's claim: GMP spends the least energy, with savings of up to ~25%
+over PBM and LGS; we reproduce the ordering and report the measured ratios.
+"""
+
+from repro.experiments.figures import figure14
+from repro.experiments.report import render_figure_table, render_ratio_summary
+
+
+def test_figure14_energy(benchmark, bench_sweep):
+    fig = benchmark.pedantic(figure14, args=(bench_sweep,), rounds=1, iterations=1)
+    print()
+    print(render_figure_table(fig, precision=3))
+    print(render_ratio_summary(fig, "GMP", ["PBM", "LGS", "SMT", "GMPnr"]))
+
+    for k in fig.xs():
+        gmp = fig.value("GMP", k)
+        assert gmp <= fig.value("LGS", k) * 1.03, f"GMP energy not <= LGS at k={k}"
+        assert gmp < fig.value("PBM", k)
+        assert gmp < fig.value("GMPnr", k)
+
+    # Energy grows with group size.
+    for label in fig.labels():
+        series = [fig.value(label, k) for k in fig.xs()]
+        assert series == sorted(series)
+
+    # The headline saving against PBM is substantial.
+    k_max = max(fig.xs())
+    assert 1.0 - fig.value("GMP", k_max) / fig.value("PBM", k_max) > 0.15

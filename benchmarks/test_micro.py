@@ -1,0 +1,96 @@
+"""Microbenchmarks: per-operation costs of the core building blocks.
+
+These complement the paper's Section-4.2 complexity analysis — rrSTR is
+O(n^2 log n + n*m) per forwarding step, which is what makes it deployable on
+sensor nodes where PBM's exponential subset enumeration is not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import run_task
+from repro.geometry import Point
+from repro.geometry.fermat import fermat_point
+from repro.network import RadioConfig, build_network
+from repro.network.topology import uniform_random_topology
+from repro.routing import GMPProtocol, LGSProtocol, PBMProtocol, SMTProtocol
+from repro.steiner.kmb import kmb_steiner_tree
+from repro.steiner.mst import euclidean_mst
+from repro.steiner.rrstr import RRStrConfig, rrstr
+
+
+@pytest.fixture(scope="module")
+def micro_network():
+    rng = np.random.default_rng(31)
+    points = uniform_random_topology(400, 1000.0, 1000.0, rng)
+    return build_network(points, RadioConfig())
+
+
+def _random_instance(k, seed=5):
+    rng = np.random.default_rng(seed)
+    source = Point(*rng.uniform(0, 1000, 2))
+    dests = [(i, Point(*rng.uniform(0, 1000, 2))) for i in range(k)]
+    return source, dests
+
+
+def test_bench_fermat_point(benchmark):
+    a, b, c = Point(0, 0), Point(923, 114), Point(411, 780)
+    benchmark(fermat_point, a, b, c)
+
+
+@pytest.mark.parametrize("k", [5, 12, 25])
+def test_bench_rrstr(benchmark, k):
+    source, dests = _random_instance(k)
+    benchmark(rrstr, source, dests, 150.0, RRStrConfig())
+
+
+def test_bench_rrstr_unrefined(benchmark):
+    source, dests = _random_instance(25)
+    benchmark(rrstr, source, dests, 150.0, RRStrConfig(refine=False))
+
+
+def test_bench_euclidean_mst(benchmark):
+    source, dests = _random_instance(25)
+    benchmark(euclidean_mst, source, dests)
+
+
+def test_bench_kmb(benchmark, micro_network):
+    graph = micro_network.to_networkx()
+    terminals = list(range(0, 120, 10))
+    benchmark(kmb_steiner_tree, graph, terminals)
+
+
+def test_bench_network_build(benchmark):
+    rng = np.random.default_rng(41)
+    points = uniform_random_topology(400, 1000.0, 1000.0, rng)
+    benchmark(lambda: build_network(points, RadioConfig()))
+
+
+def test_bench_planarization(benchmark, micro_network):
+    def planarize_sample():
+        # Fresh computation each round: bypass the cache.
+        from repro.network.planar import gabriel_neighbors
+
+        for node in range(0, 100, 5):
+            gabriel_neighbors(
+                node,
+                micro_network.neighbors_of(node),
+                micro_network.location_of,
+            )
+
+    benchmark(planarize_sample)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [GMPProtocol, LGSProtocol, PBMProtocol, SMTProtocol],
+    ids=["GMP", "LGS", "PBM", "SMT"],
+)
+def test_bench_task_execution(benchmark, micro_network, factory):
+    dests = [30, 90, 150, 210, 270, 330, 370, 399]
+    benchmark.pedantic(
+        run_task,
+        args=(micro_network, factory(), 0, dests),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,54 @@
+"""Robustness benches (extensions beyond the paper's evaluation).
+
+Delivery under injected link loss and silent node crashes, with flooding as
+the redundancy reference.  Asserted shapes: lossless runs deliver fully;
+loss/crashes degrade routing protocols; flooding tolerates both best while
+paying the largest energy bill.
+"""
+
+from repro.experiments.config import PaperConfig
+from repro.experiments.report import render_figure_table
+from repro.experiments.robustness import (
+    RobustnessScale,
+    link_loss_sweep,
+    node_failure_sweep,
+)
+
+BENCH_CONFIG = PaperConfig(node_count=400)
+BENCH_SCALE = RobustnessScale(
+    network_count=1,
+    tasks_per_network=10,
+    group_size=8,
+    loss_rates=(0.0, 0.15, 0.35),
+    failed_fractions=(0.0, 0.1, 0.2),
+)
+
+
+def test_link_loss_robustness(benchmark):
+    delivery, energy = benchmark.pedantic(
+        link_loss_sweep, args=(BENCH_CONFIG, BENCH_SCALE), rounds=1, iterations=1
+    )
+    print()
+    print(render_figure_table(delivery, precision=3))
+    print(render_figure_table(energy, precision=3))
+
+    for label in delivery.labels():
+        assert delivery.value(label, 0.0) == 1.0
+        series = [delivery.value(label, x) for x in delivery.xs()]
+        assert series == sorted(series, reverse=True), f"{label} not monotone"
+    worst_loss = max(delivery.xs())
+    assert delivery.value("FLOOD", worst_loss) >= delivery.value("GMP", worst_loss)
+    assert energy.value("FLOOD", 0.0) > energy.value("GMP", 0.0)
+
+
+def test_node_failure_robustness(benchmark):
+    figure = benchmark.pedantic(
+        node_failure_sweep, args=(BENCH_CONFIG, BENCH_SCALE), rounds=1, iterations=1
+    )
+    print()
+    print(render_figure_table(figure, precision=3))
+
+    for label in figure.labels():
+        assert figure.value(label, 0.0) == 1.0
+    worst = max(figure.xs())
+    assert figure.value("FLOOD", worst) >= figure.value("LGS", worst) - 0.05

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Why statelessness matters: multicast sessions under membership churn.
+
+A monitoring application streams updates to a subscriber group whose
+membership changes every round (operators subscribe and unsubscribe).  A
+tree- or mesh-based multicast protocol would pay reconfiguration traffic on
+every change; the paper's stateless protocols pay nothing — the next packet
+simply carries the new destination list.  This example measures a churning
+session under each protocol, with the identical membership history.
+
+Run with::
+
+    python examples/dynamic_membership.py
+"""
+
+import numpy as np
+
+from repro import (
+    GMPProtocol,
+    LGSProtocol,
+    PBMProtocol,
+    RadioConfig,
+    SMTProtocol,
+    build_network,
+    uniform_random_topology,
+)
+from repro.engine import EngineConfig
+from repro.experiments.dynamics import SessionConfig, compare_protocols_under_churn
+
+
+def main() -> None:
+    rng = np.random.default_rng(1234)
+    points = uniform_random_topology(500, 1000.0, 1000.0, rng)
+    network = build_network(points, RadioConfig())
+    print(f"network: {network.node_count} nodes, "
+          f"connected: {network.is_connected()}")
+
+    session_config = SessionConfig(
+        rounds=30,
+        initial_group_size=10,
+        leave_probability=0.2,
+        join_probability=0.2,
+        min_group_size=3,
+    )
+    protocols = [GMPProtocol(), PBMProtocol(), LGSProtocol(), SMTProtocol()]
+    sessions = compare_protocols_under_churn(
+        network,
+        protocols,
+        source_id=0,
+        config=session_config,
+        seed=77,
+        engine_config=EngineConfig(max_path_length=100),
+    )
+
+    changes = sessions[0].membership_changes
+    sizes = [len(r.members) for r in sessions[0].rounds]
+    print(f"\nsession: {session_config.rounds} rounds, "
+          f"{changes} membership changes, group size "
+          f"{min(sizes)}..{max(sizes)} (identical history for all protocols)")
+
+    print(f"\n{'protocol':>10} {'tx/round':>9} {'J total':>8} {'delivery':>9}")
+    for session in sessions:
+        print(f"{session.protocol:>10} "
+              f"{session.mean_transmissions_per_round:9.1f} "
+              f"{session.total_energy_joules:8.2f} "
+              f"{100 * session.delivery_ratio:8.1f}%")
+
+    print("\nNo protocol here pays any reconfiguration traffic — that is the "
+          "point of stateless geographic multicast.  (A maintained tree/mesh "
+          "protocol would add control messages on every one of the "
+          f"{changes} membership changes.)  Among the stateless ones, GMP "
+          "carries the churning group at the lowest cost per round.")
+
+
+if __name__ == "__main__":
+    main()

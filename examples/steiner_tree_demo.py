@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""rrSTR in isolation: how a transmitting node plans its virtual tree.
+
+Recreates the flavour of the paper's Figures 1 and 4: a source, a far pair
+of destinations that share a trunk, plus nearer destinations that chain onto
+it — rendered in ASCII, with the reduction ratios that drive the merge order
+and the MST (LGS's structure) for comparison.
+
+Run with::
+
+    python examples/steiner_tree_demo.py
+"""
+
+from repro.geometry import Point
+from repro.steiner import RRStrConfig, euclidean_mst, reduction_ratio, rrstr
+from repro.visualization.ascii_art import describe_tree, render_tree
+
+
+def main() -> None:
+    # The Figure-4 cast: far pair (u, v), mid destination d, near c.
+    source = Point(0.0, 0.0)
+    c = Point(140.0, 30.0)
+    d = Point(380.0, 20.0)
+    u = Point(620.0, 110.0)
+    v = Point(650.0, 30.0)
+    destinations = [(1, c), (2, d), (3, u), (4, v)]
+
+    print("reduction ratios at the source (larger merges first):")
+    names = {1: "c", 2: "d", 3: "u", 4: "v"}
+    pairs = [(a, b) for i, a in enumerate(destinations) for b in destinations[i + 1:]]
+    for (ra, la), (rb, lb) in pairs:
+        rr = reduction_ratio(source, la, lb)
+        print(f"  RR({names[ra]}, {names[rb]}) = {rr:.3f}")
+
+    tree = rrstr(source, destinations, radio_range=150.0,
+                 config=RRStrConfig(radio_aware=True))
+    print("\nrrSTR virtual Steiner tree (S=source, D=destination, *=virtual):")
+    print(render_tree(tree, width_chars=76, height_chars=14))
+    print(describe_tree(tree))
+
+    mst = euclidean_mst(source, destinations)
+    print("\nLGS's MST over the same terminals (no virtual points allowed):")
+    print(render_tree(mst, width_chars=76, height_chars=14))
+    print(describe_tree(mst))
+
+    saving = 1.0 - tree.total_length() / mst.total_length()
+    print(f"\nrrSTR tree is {100 * saving:.1f}% shorter than the MST "
+          f"({tree.total_length():.0f} m vs {mst.total_length():.0f} m)")
+
+
+if __name__ == "__main__":
+    main()

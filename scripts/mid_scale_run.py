@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Mid-scale figure regeneration (between `quick` and `paper` scales).
+
+Produces the numbers quoted in EXPERIMENTS.md: 4 networks x 50 tasks per
+point, the paper's full k and lambda grids.  Writes `results_mid.json`.
+
+Run with::
+
+    python scripts/mid_scale_run.py
+"""
+
+import json
+
+from repro.experiments.config import ExperimentScale, PaperConfig
+from repro.experiments.figures import (
+    figure11,
+    figure12,
+    figure14,
+    figure15,
+    run_group_size_sweep,
+)
+from repro.experiments.report import (
+    render_confidence_table,
+    render_figure_table,
+    render_ratio_summary,
+)
+
+MID_SCALE = ExperimentScale(
+    name="mid",
+    network_count=4,
+    tasks_per_network=50,
+    group_sizes=(3, 5, 10, 15, 20, 25),
+    lambdas=(0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6),
+    density_node_counts=(150, 200, 250, 300, 400, 600, 1000),
+)
+
+
+def main() -> None:
+    config = PaperConfig()
+    sweep = run_group_size_sweep(config, MID_SCALE)
+    payload = {}
+    for figure_fn in (figure11, figure12, figure14):
+        figure = figure_fn(sweep)
+        print(render_figure_table(figure))
+        if figure.figure_id != "figure12":
+            print(render_ratio_summary(figure, "GMP", ["PBM", "LGS", "SMT", "GMPnr"]))
+        print()
+        payload[figure.figure_id] = figure.to_json_dict()
+    print(
+        render_confidence_table(
+            sweep, lambda r: float(r.transmissions), "total hops"
+        )
+    )
+    print()
+    density_figure = figure15(config, MID_SCALE)
+    print(render_figure_table(density_figure, precision=1))
+    payload["figure15"] = density_figure.to_json_dict()
+    with open("results_mid.json", "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-use-pep517`` in offline environments that
+lack the ``wheel`` package needed for PEP-517 editable installs.  All real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,100 @@
+"""repro: a full reproduction of *GMP: Distributed Geographic Multicast
+Routing in Wireless Sensor Networks* (Wu & Candan, ICDCS 2006).
+
+Public API tour
+---------------
+
+Build a network, pick a protocol, run a task::
+
+    import numpy as np
+    from repro import (
+        GMPProtocol, PaperConfig, build_network, run_task,
+        uniform_random_topology,
+    )
+
+    rng = np.random.default_rng(7)
+    points = uniform_random_topology(1000, 1000.0, 1000.0, rng)
+    network = build_network(points)
+    result = run_task(network, GMPProtocol(), source_id=0,
+                      destination_ids=[10, 20, 30])
+    print(result.total_hops, result.average_per_destination_hops)
+
+Regenerate the paper's figures::
+
+    from repro.experiments import (
+        PaperConfig, QUICK_SCALE, run_group_size_sweep, figure11,
+    )
+    sweep = run_group_size_sweep(PaperConfig(), QUICK_SCALE)
+    print(figure11(sweep).series["GMP"])
+
+Package map: :mod:`repro.geometry` (plane geometry, Fermat points),
+:mod:`repro.simkit` (DES kernel), :mod:`repro.network` (WSN substrate),
+:mod:`repro.steiner` (rrSTR / MST / KMB), :mod:`repro.routing` (GMP and
+baselines), :mod:`repro.engine` (task execution), and
+:mod:`repro.experiments` (the evaluation harness).
+"""
+
+from repro.geometry import Point
+from repro.network import (
+    RadioConfig,
+    SensorNode,
+    WirelessNetwork,
+    build_network,
+    clustered_topology,
+    grid_topology,
+    topology_with_voids,
+    uniform_random_topology,
+)
+from repro.packets import Destination, MulticastPacket
+from repro.steiner import RRStrConfig, SteinerTree, euclidean_mst, kmb_steiner_tree, rrstr
+from repro.routing import (
+    FloodingProtocol,
+    GMPProtocol,
+    GPSRProtocol,
+    GRDProtocol,
+    LGKProtocol,
+    LGSProtocol,
+    NodeView,
+    PBMProtocol,
+    RoutingProtocol,
+    SMTProtocol,
+)
+from repro.engine import EngineConfig, TaskResult, run_task, summarize_results
+from repro.experiments.config import PaperConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Point",
+    "RadioConfig",
+    "SensorNode",
+    "WirelessNetwork",
+    "build_network",
+    "uniform_random_topology",
+    "grid_topology",
+    "clustered_topology",
+    "topology_with_voids",
+    "Destination",
+    "MulticastPacket",
+    "SteinerTree",
+    "RRStrConfig",
+    "rrstr",
+    "euclidean_mst",
+    "kmb_steiner_tree",
+    "RoutingProtocol",
+    "NodeView",
+    "FloodingProtocol",
+    "GMPProtocol",
+    "GPSRProtocol",
+    "GRDProtocol",
+    "LGSProtocol",
+    "LGKProtocol",
+    "PBMProtocol",
+    "SMTProtocol",
+    "EngineConfig",
+    "TaskResult",
+    "run_task",
+    "summarize_results",
+    "PaperConfig",
+    "__version__",
+]

@@ -1,0 +1,155 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Examples::
+
+    python -m repro.cli config
+    python -m repro.cli figure11 --scale quick
+    python -m repro.cli all --scale paper --json results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.experiments.config import PaperConfig, scale_by_name
+from repro.experiments.figures import (
+    FigureResult,
+    figure11,
+    figure12,
+    figure14,
+    figure15,
+    run_group_size_sweep,
+)
+from repro.experiments.report import render_figure_table, render_ratio_summary
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gmp-repro",
+        description=(
+            "Reproduction harness for 'GMP: Distributed Geographic Multicast "
+            "Routing in Wireless Sensor Networks' (ICDCS 2006)"
+        ),
+    )
+    parser.add_argument(
+        "command",
+        choices=["config", "figure11", "figure12", "figure14", "figure15", "all", "ablations", "robustness"],
+        help="what to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        default="quick",
+        help="statistical scale: smoke, quick, or paper (default: quick)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the master seed"
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=None, help="override the node count"
+    )
+    parser.add_argument(
+        "--json", dest="json_path", default=None, help="also write results as JSON"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress messages"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process count for the group-size sweep (default: 1)",
+    )
+    return parser
+
+
+def _make_config(args: argparse.Namespace) -> PaperConfig:
+    kwargs = {}
+    if args.seed is not None:
+        kwargs["master_seed"] = args.seed
+    if args.nodes is not None:
+        kwargs["node_count"] = args.nodes
+    return PaperConfig(**kwargs)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    config = _make_config(args)
+    progress = (lambda msg: None) if args.quiet else (
+        lambda msg: print(f"  [{time.strftime('%H:%M:%S')}] {msg}", file=sys.stderr)
+    )
+
+    if args.command == "config":
+        print("Table 1. Simulation setup")
+        print(config.describe())
+        return 0
+
+    if args.command == "robustness":
+        from repro.experiments.robustness import link_loss_sweep, node_failure_sweep
+
+        progress("running robustness sweeps ...")
+        robust_config = _make_config(args)
+        if args.nodes is None:
+            robust_config = PaperConfig(
+                node_count=400, master_seed=robust_config.master_seed
+            )
+        delivery, energy = link_loss_sweep(robust_config)
+        crash = node_failure_sweep(robust_config)
+        for fig in (delivery, energy, crash):
+            print(render_figure_table(fig, precision=3))
+            print()
+        return 0
+
+    if args.command == "ablations":
+        from repro.experiments.ablations import render_ablations, run_all_ablations
+
+        progress("running ablations ...")
+        ablation_config = _make_config(args)
+        if args.nodes is None:
+            # Ablations default to a smaller deployment than Table 1.
+            ablation_config = PaperConfig(
+                node_count=400, master_seed=ablation_config.master_seed
+            )
+        print(render_ablations(run_all_ablations(ablation_config)))
+        return 0
+
+    scale = scale_by_name(args.scale)
+    figures: Dict[str, FigureResult] = {}
+
+    needs_sweep = args.command in ("figure11", "figure12", "figure14", "all")
+    if needs_sweep:
+        progress(f"running group-size sweep at scale {scale.name!r} ...")
+        sweep = run_group_size_sweep(
+            config, scale, progress=progress, workers=args.workers
+        )
+        if args.command in ("figure11", "all"):
+            figures["figure11"] = figure11(sweep)
+        if args.command in ("figure12", "all"):
+            figures["figure12"] = figure12(sweep)
+        if args.command in ("figure14", "all"):
+            figures["figure14"] = figure14(sweep)
+    if args.command in ("figure15", "all"):
+        progress("running density sweep for figure 15 ...")
+        figures["figure15"] = figure15(config, scale, progress=progress)
+
+    for fig in figures.values():
+        print(render_figure_table(fig))
+        if fig.figure_id in ("figure11", "figure14"):
+            print(render_ratio_summary(fig, "GMP", ["PBM", "LGS", "SMT", "GMPnr"]))
+        print()
+
+    if args.json_path:
+        payload = {name: fig.to_json_dict() for name, fig in figures.items()}
+        payload["scale"] = scale.name
+        payload["master_seed"] = config.master_seed
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        progress(f"wrote {args.json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,22 @@
+"""Execution engine: runs multicast tasks over the simulation kernel.
+
+The engine plays the role of the radio medium and the measurement rig that
+ns-2 played for the paper: it delivers location-addressed packets after
+their airtime, charges the Section-5.3 energy model for every transmission
+(sender power plus every in-range listener), enforces the hop-count TTL of
+the Figure-15 experiment, and collects per-task statistics.
+"""
+
+from repro.engine.runner import EngineConfig, run_task
+from repro.engine.stats import TaskResult, summarize_results
+from repro.engine.trace import CopyRecord, FrameRecord, TaskTrace
+
+__all__ = [
+    "EngineConfig",
+    "run_task",
+    "TaskResult",
+    "summarize_results",
+    "TaskTrace",
+    "FrameRecord",
+    "CopyRecord",
+]

@@ -1,0 +1,309 @@
+"""Running one multicast task through the discrete-event simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.stats import TaskResult
+from repro.engine.trace import CopyRecord, FrameRecord, TaskTrace
+from repro.network.energy import EnergyMeter, EnergyModel
+from repro.network.graph import WirelessNetwork
+from repro.packets import Destination, MulticastPacket
+from repro.routing.base import ForwardDecision, NodeView, RoutingProtocol
+from repro.simkit import SimulationError, Simulator
+from repro.simkit.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs of the execution engine.
+
+    Attributes:
+        max_path_length: Hop-count TTL; packets are not forwarded beyond
+            this many hops (the paper's Figure-15 experiment uses 100).
+        processing_delay_s: Per-hop processing latency added to the airtime.
+        max_events_per_task: Hard safety valve against pathological loops.
+        validate_decisions: Check that protocols only forward to actual
+            neighbors and never duplicate a destination across copies.
+        transmission_model: How one forwarding step's copies map to radio
+            transmissions — ``"protocol"`` (default) honours each
+            protocol's :attr:`RoutingProtocol.aggregates_copies`
+            declaration; ``"broadcast"`` forces single-frame aggregation
+            for everyone; ``"unicast"`` forces one transmission per copy
+            (the counting-model ablation).
+        link_loss_rate: Probability that a transmitted copy is destroyed in
+            flight (failure injection; energy is still charged — the frame
+            was sent).  Zero by default: the paper's metrics assume a
+            loss-free MAC.
+        loss_seed: Seed for the loss process (combined with the task id, so
+            loss patterns are reproducible per task).
+        failed_node_ids: Crashed nodes — they neither receive nor forward.
+            Protocols do not know (their neighbor tables are stale), so
+            packets routed into them are lost: models unannounced node
+            death between neighbor-table refreshes.
+        charge_header_overhead: Charge airtime/energy for the geographic
+            header (next-hop/source/destination locations, perimeter
+            state) on top of the fixed payload, instead of the paper's
+            flat message size.  Off by default to match Table 1; turning
+            it on penalizes protocols that carry long destination lists
+            deep into the network.
+    """
+
+    max_path_length: int = 100
+    processing_delay_s: float = 0.0
+    max_events_per_task: int = 500_000
+    validate_decisions: bool = True
+    transmission_model: str = "protocol"
+    link_loss_rate: float = 0.0
+    loss_seed: int = 0
+    failed_node_ids: FrozenSet[int] = field(default_factory=frozenset)
+    charge_header_overhead: bool = False
+
+    def __post_init__(self) -> None:
+        if self.transmission_model not in ("protocol", "broadcast", "unicast"):
+            raise ValueError(
+                f"unknown transmission model {self.transmission_model!r}"
+            )
+        if not 0.0 <= self.link_loss_rate < 1.0:
+            raise ValueError(
+                f"link loss rate must be in [0, 1), got {self.link_loss_rate}"
+            )
+
+
+class _TaskExecution:
+    """Mutable state of one in-flight task (one source, many branches)."""
+
+    def __init__(
+        self,
+        network: WirelessNetwork,
+        protocol: RoutingProtocol,
+        config: EngineConfig,
+        task_id: int,
+        trace: Optional[TaskTrace] = None,
+    ) -> None:
+        self.network = network
+        self.protocol = protocol
+        self.config = config
+        self.simulator = Simulator()
+        self.energy = EnergyMeter(EnergyModel(network.radio))
+        self.delivered_hops: Dict[int, int] = {}
+        self.dropped_ttl = 0
+        self.trace = trace
+        self._loss_rng = (
+            np.random.default_rng(derive_seed(config.loss_seed, "loss", task_id))
+            if config.link_loss_rate > 0.0
+            else None
+        )
+
+    def transmit(self, sender_id: int, decisions: Sequence[ForwardDecision]) -> None:
+        """Send the decided copies: charge energy, schedule the arrivals.
+
+        Copy aggregation follows the protocol's declaration (see
+        :attr:`RoutingProtocol.aggregates_copies`) unless the engine forces
+        a model: with aggregation, all copies of one forwarding step ride a
+        single broadcast frame (one transmission, one listener charge);
+        without, every copy is its own transmission.
+        """
+        if self.config.validate_decisions:
+            self._validate(sender_id, decisions)
+        live: List[ForwardDecision] = []
+        for decision in decisions:
+            if decision.packet.hop_count + 1 > self.config.max_path_length:
+                self.dropped_ttl += 1
+                continue
+            live.append(decision)
+        if not live:
+            return
+        if self.config.transmission_model == "broadcast":
+            aggregate = True
+        elif self.config.transmission_model == "unicast":
+            aggregate = False
+        else:  # "protocol" — each protocol declares its own frame usage.
+            aggregate = self.protocol.aggregates_copies
+        transmissions = 1 if aggregate else len(live)
+        frame_bytes = None  # Table-1 flat message size.
+        if self.config.charge_header_overhead:
+            payload = live[0].packet.payload_bytes
+            headers = sum(d.packet.header_size_bytes() for d in live)
+            if aggregate:
+                frame_bytes = payload + headers
+            else:
+                # Per-copy frames: charge the mean size per transmission.
+                frame_bytes = payload + max(1, headers // len(live))
+        airtime = self.network.radio.transmission_time(frame_bytes)
+        for _ in range(transmissions):
+            self.energy.record_transmission(
+                sender_id,
+                self.network.listeners_of(sender_id),
+                size_bytes=frame_bytes,
+            )
+        copy_records = []
+        for decision in live:
+            forwarded = decision.packet.hopped()
+            receiver = decision.next_hop_id
+            lost = self._copy_is_lost(receiver)
+            if self.trace is not None:
+                copy_records.append(
+                    CopyRecord(
+                        receiver_id=receiver,
+                        destination_ids=forwarded.destination_ids,
+                        hop_count=forwarded.hop_count,
+                        in_perimeter_mode=forwarded.in_perimeter_mode,
+                        lost=lost,
+                    )
+                )
+            if lost:
+                continue
+            self.simulator.schedule_after(
+                airtime + self.config.processing_delay_s,
+                lambda r=receiver, p=forwarded: self.receive(r, p),
+                label=f"rx@{receiver}",
+            )
+        if self.trace is not None:
+            self.trace.record(
+                FrameRecord(
+                    time_s=self.simulator.now,
+                    sender_id=sender_id,
+                    copies=tuple(copy_records),
+                    transmissions_charged=transmissions,
+                )
+            )
+
+    def _copy_is_lost(self, receiver_id: int) -> bool:
+        """Injected failure check for one in-flight copy."""
+        if receiver_id in self.config.failed_node_ids:
+            return True
+        if self._loss_rng is not None:
+            return bool(self._loss_rng.random() < self.config.link_loss_rate)
+        return False
+
+    def receive(self, node_id: int, packet: MulticastPacket) -> None:
+        """Arrival processing: record delivery, then let the protocol forward."""
+        if any(d.node_id == node_id for d in packet.destinations):
+            if node_id not in self.delivered_hops:
+                self.delivered_hops[node_id] = packet.hop_count
+            packet = packet.without_destination(node_id)
+        if not packet.destinations:
+            return
+        view = NodeView(self.network, node_id)
+        decisions = self.protocol.handle(view, packet)
+        self.transmit(node_id, decisions)
+
+    def _validate(self, sender_id: int, decisions: Sequence[ForwardDecision]) -> None:
+        seen: set = set()
+        for decision in decisions:
+            if not self.network.are_neighbors(sender_id, decision.next_hop_id):
+                raise SimulationError(
+                    f"{self.protocol.name} forwarded from {sender_id} to "
+                    f"non-neighbor {decision.next_hop_id}"
+                )
+            if self.protocol.duplicates_allowed:
+                continue
+            for dest in decision.packet.destinations:
+                if dest.node_id in seen:
+                    raise SimulationError(
+                        f"{self.protocol.name} duplicated destination "
+                        f"{dest.node_id} across copies at node {sender_id}"
+                    )
+                seen.add(dest.node_id)
+
+
+def run_task(
+    network: WirelessNetwork,
+    protocol: RoutingProtocol,
+    source_id: int,
+    destination_ids: Sequence[int],
+    config: EngineConfig | None = None,
+    task_id: int = 0,
+    payload_bytes: int | None = None,
+    collect_trace: bool = False,
+) -> TaskResult:
+    """Execute one multicast task and return its measured outcome.
+
+    Args:
+        network: The deployed network (global state owned by the engine).
+        protocol: Forwarding discipline under test.
+        source_id: Originating node.
+        destination_ids: Target nodes; the source itself is filtered out.
+        config: Engine knobs (TTL etc.); defaults to :class:`EngineConfig`.
+        task_id: Id recorded in the result.
+        payload_bytes: Message size (defaults to the radio's Table-1 size).
+        collect_trace: Record every frame; the trace is attached to the
+            result as :attr:`TaskResult.trace`.
+
+    Returns:
+        A :class:`TaskResult`; ``result.success`` is False when any
+        destination was unreachable (void without recovery, TTL, injected
+        losses, or a disconnected topology for the centralized SMT
+        baseline).
+    """
+    cfg = config or EngineConfig()
+    unique_destinations = []
+    seen = set()
+    for d in destination_ids:
+        if d == source_id or d in seen:
+            continue
+        if not (0 <= d < network.node_count):
+            raise ValueError(f"destination {d} is not a node of the network")
+        seen.add(d)
+        unique_destinations.append(d)
+    if not (0 <= source_id < network.node_count):
+        raise ValueError(f"source {source_id} is not a node of the network")
+    if source_id in cfg.failed_node_ids:
+        raise ValueError(f"source {source_id} is marked as a failed node")
+
+    trace = TaskTrace() if collect_trace else None
+    execution = _TaskExecution(network, protocol, cfg, task_id, trace)
+    dest_tuple = tuple(unique_destinations)
+
+    def finish(transmissions: int = 0, energy: float = 0.0, duration: float = 0.0,
+               delivered: Optional[Dict[int, int]] = None) -> TaskResult:
+        per_node: Dict[int, float] = dict(execution.energy.tx_joules_by_node)
+        for node, joules in execution.energy.rx_joules_by_node.items():
+            per_node[node] = per_node.get(node, 0.0) + joules
+        return TaskResult(
+            task_id=task_id,
+            protocol=protocol.name,
+            source_id=source_id,
+            destination_ids=dest_tuple,
+            delivered_hops=delivered or {},
+            transmissions=transmissions,
+            energy_joules=energy,
+            duration_s=duration,
+            dropped_ttl=execution.dropped_ttl,
+            trace=trace,
+            hotspot_energy_joules=max(per_node.values(), default=0.0),
+        )
+
+    if not dest_tuple:
+        return finish()
+
+    try:
+        protocol.prepare_task(network, source_id, dest_tuple)
+    except ValueError:
+        # Centralized preparation can fail outright on partitioned networks
+        # (e.g. KMB with unreachable terminals): the whole task fails.
+        return finish()
+
+    packet = MulticastPacket(
+        task_id=task_id,
+        source=Destination(source_id, network.location_of(source_id)),
+        destinations=tuple(
+            Destination(d, network.location_of(d)) for d in dest_tuple
+        ),
+        payload_bytes=payload_bytes or network.radio.message_size_bytes,
+    )
+    execution.simulator.schedule_at(
+        0.0, lambda: execution.receive(source_id, packet), label="task-start"
+    )
+    execution.simulator.run(max_events=cfg.max_events_per_task)
+
+    return finish(
+        transmissions=execution.energy.transmissions,
+        energy=execution.energy.total_joules,
+        duration=execution.simulator.now,
+        delivered=dict(execution.delivered_hops),
+    )

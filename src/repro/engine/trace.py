@@ -1,0 +1,118 @@
+"""Execution traces: what actually happened on the air.
+
+A :class:`TaskTrace` records every frame and every copy it carried, enabling
+route reconstruction (the *realized* multicast tree, as opposed to the
+virtual trees nodes plan with), split statistics, perimeter-mode usage and
+geometric efficiency analysis.  Used by the route-tracing example and the
+diagnostics in :mod:`repro.experiments.ablations`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.geometry import distance
+from repro.network.graph import WirelessNetwork
+
+
+@dataclass(frozen=True)
+class CopyRecord:
+    """One packet copy inside a transmitted frame."""
+
+    receiver_id: int
+    destination_ids: Tuple[int, ...]
+    hop_count: int
+    in_perimeter_mode: bool
+    lost: bool = False
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """One radio transmission (frame) and the copies it carried."""
+
+    time_s: float
+    sender_id: int
+    copies: Tuple[CopyRecord, ...]
+    transmissions_charged: int
+
+    @property
+    def receiver_ids(self) -> Tuple[int, ...]:
+        return tuple(c.receiver_id for c in self.copies)
+
+    @property
+    def is_split(self) -> bool:
+        """Whether this forwarding step fanned out to several next hops."""
+        return len(set(self.receiver_ids)) > 1
+
+
+@dataclass
+class TaskTrace:
+    """Complete on-air history of one task."""
+
+    frames: List[FrameRecord] = field(default_factory=list)
+
+    def record(self, frame: FrameRecord) -> None:
+        self.frames.append(frame)
+
+    # ------------------------------------------------------------------
+    # Route reconstruction
+    # ------------------------------------------------------------------
+
+    def traversed_edges(self) -> Set[Tuple[int, int]]:
+        """Distinct directed (sender, receiver) pairs that carried a copy."""
+        return {
+            (frame.sender_id, copy.receiver_id)
+            for frame in self.frames
+            for copy in frame.copies
+            if not copy.lost
+        }
+
+    def relay_nodes(self) -> Set[int]:
+        """Every node that transmitted at least one frame."""
+        return {frame.sender_id for frame in self.frames}
+
+    def split_events(self) -> int:
+        """Forwarding steps that fanned out to more than one next hop."""
+        return sum(1 for frame in self.frames if frame.is_split)
+
+    def perimeter_copy_count(self) -> int:
+        """Copies forwarded while in perimeter mode."""
+        return sum(
+            1
+            for frame in self.frames
+            for copy in frame.copies
+            if copy.in_perimeter_mode
+        )
+
+    def lost_copy_count(self) -> int:
+        """Copies destroyed by injected losses or failed receivers."""
+        return sum(
+            1 for frame in self.frames for copy in frame.copies if copy.lost
+        )
+
+    # ------------------------------------------------------------------
+    # Geometric efficiency
+    # ------------------------------------------------------------------
+
+    def total_meters(self, network: WirelessNetwork) -> float:
+        """Ground distance covered by all distinct traversed edges."""
+        return sum(
+            distance(network.location_of(a), network.location_of(b))
+            for a, b in self.traversed_edges()
+        )
+
+    def mean_hop_meters(self, network: WirelessNetwork) -> float:
+        """Average ground length of a traversed edge (progress per hop)."""
+        edges = self.traversed_edges()
+        if not edges:
+            return 0.0
+        return self.total_meters(network) / len(edges)
+
+    def fanout_histogram(self) -> Dict[int, int]:
+        """Frame count by number of distinct next hops."""
+        histogram: Dict[int, int] = {}
+        for frame in self.frames:
+            fanout = len(set(frame.receiver_ids))
+            histogram[fanout] = histogram.get(fanout, 0) + 1
+        return histogram

@@ -1,0 +1,245 @@
+"""Ablation harnesses for the design choices DESIGN.md calls out.
+
+Each ablation runs two configurations of the system on an identical seeded
+workload and reports the metric difference.  The pytest-benchmark suite
+(`benchmarks/test_ablations.py`) asserts the expected directions; this
+module is the reusable/programmatic form, also exposed as
+``gmp-repro ablations``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine import EngineConfig, run_task
+from repro.experiments.config import PaperConfig
+from repro.experiments.sweep import make_network
+from repro.experiments.workload import MulticastTask, generate_tasks
+from repro.geometry import Point
+from repro.routing.base import RoutingProtocol
+from repro.routing.gmp import GMPProtocol
+from repro.simkit.rng import RandomStreams
+from repro.steiner.rrstr import RRStrConfig, rrstr
+
+
+@dataclass(frozen=True)
+class AblationOutcome:
+    """Result of one ablation: named metrics plus a one-line conclusion."""
+
+    name: str
+    question: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+    conclusion: str = ""
+
+
+def _mean_metrics(network, protocol: RoutingProtocol, tasks, engine) -> Dict[str, float]:
+    results = [
+        run_task(network, protocol, t.source_id, t.destination_ids, config=engine)
+        for t in tasks
+    ]
+    return {
+        "transmissions": sum(r.transmissions for r in results) / len(results),
+        "per_destination_hops": sum(
+            r.average_per_destination_hops for r in results
+        ) / len(results),
+        "energy_joules": sum(r.energy_joules for r in results) / len(results),
+        "failures": float(sum(0 if r.success else 1 for r in results)),
+    }
+
+
+def _shared_workload(
+    config: PaperConfig, group_size: int, task_count: int
+) -> tuple:
+    network = make_network(config, 0)
+    streams = RandomStreams(config.master_seed)
+    tasks = generate_tasks(
+        network, task_count, group_size, streams.stream("ablation", group_size)
+    )
+    return network, tasks
+
+
+def ablation_radio_range(
+    config: Optional[PaperConfig] = None,
+    group_size: int = 12,
+    task_count: int = 15,
+) -> AblationOutcome:
+    """A: Section 3.3's radio-range rules on/off (GMP vs GMPnr)."""
+    cfg = config or PaperConfig(node_count=400)
+    network, tasks = _shared_workload(cfg, group_size, task_count)
+    engine = EngineConfig(max_path_length=cfg.max_path_length)
+    aware = _mean_metrics(network, GMPProtocol(radio_aware=True), tasks, engine)
+    naive = _mean_metrics(network, GMPProtocol(radio_aware=False), tasks, engine)
+    saving = 1.0 - aware["transmissions"] / naive["transmissions"]
+    return AblationOutcome(
+        name="radio-range-awareness",
+        question="what do the Section-3.3 rules buy?",
+        metrics={
+            "gmp_transmissions": aware["transmissions"],
+            "gmpnr_transmissions": naive["transmissions"],
+            "saving_fraction": saving,
+        },
+        conclusion=f"radio awareness saves {100 * saving:.1f}% of transmissions",
+    )
+
+
+def ablation_next_hop_rule(
+    config: Optional[PaperConfig] = None,
+    group_size: int = 12,
+    task_count: int = 15,
+) -> AblationOutcome:
+    """B: pivot-targeted next hops vs LGS-style closest-destination."""
+    cfg = config or PaperConfig(node_count=400)
+    network, tasks = _shared_workload(cfg, group_size, task_count)
+    engine = EngineConfig(max_path_length=cfg.max_path_length)
+    pivot = _mean_metrics(network, GMPProtocol(next_hop_rule="pivot"), tasks, engine)
+    closest = _mean_metrics(
+        network, GMPProtocol(next_hop_rule="closest-destination"), tasks, engine
+    )
+    return AblationOutcome(
+        name="next-hop-rule",
+        question="does aiming at the Steiner pivot beat aiming at the nearest destination?",
+        metrics={
+            "pivot_transmissions": pivot["transmissions"],
+            "pivot_per_destination": pivot["per_destination_hops"],
+            "closest_transmissions": closest["transmissions"],
+            "closest_per_destination": closest["per_destination_hops"],
+        },
+        conclusion=(
+            "pivot rule: "
+            f"{pivot['transmissions']:.1f} tx / {pivot['per_destination_hops']:.2f} hops-per-dest, "
+            f"closest-destination: {closest['transmissions']:.1f} / "
+            f"{closest['per_destination_hops']:.2f}"
+        ),
+    )
+
+
+def ablation_rrstr_rule(
+    seed: int = 17, instance_count: int = 60, group_size: int = 12
+) -> AblationOutcome:
+    """C: Figure-3 pseudocode vs Section-3.3 prose for the in-range case."""
+    rng = np.random.default_rng(seed)
+    totals = {"pseudocode": 0.0, "prose": 0.0}
+    for _ in range(instance_count):
+        source = Point(*rng.uniform(0, 1000, 2))
+        dests = [(i, Point(*rng.uniform(0, 1000, 2))) for i in range(group_size)]
+        for label, prose in (("pseudocode", False), ("prose", True)):
+            cfg = RRStrConfig(
+                radio_aware=True, prose_one_in_range_rule=prose, refine=False
+            )
+            totals[label] += rrstr(source, dests, 150.0, cfg).total_length()
+    return AblationOutcome(
+        name="rrstr-rule-variant",
+        question="pseudocode (defer pair) vs prose (commit both to source)?",
+        metrics={
+            "pseudocode_length": totals["pseudocode"],
+            "prose_length": totals["prose"],
+            "ratio": totals["pseudocode"] / totals["prose"],
+        },
+        conclusion=(
+            f"pseudocode trees are {100 * (1 - totals['pseudocode'] / totals['prose']):.1f}% "
+            "shorter (deferring keeps pairing options open)"
+        ),
+    )
+
+
+def ablation_refinement(
+    seed: int = 23, instance_count: int = 60, group_size: int = 12
+) -> AblationOutcome:
+    """D: the shallow-light re-attachment refinement pass."""
+    rng = np.random.default_rng(seed)
+    raw_total = refined_total = 0.0
+    for _ in range(instance_count):
+        source = Point(*rng.uniform(0, 1000, 2))
+        dests = [(i, Point(*rng.uniform(0, 1000, 2))) for i in range(group_size)]
+        raw_total += rrstr(
+            source, dests, 150.0, RRStrConfig(refine=False)
+        ).total_length()
+        refined_total += rrstr(
+            source, dests, 150.0, RRStrConfig(refine=True)
+        ).total_length()
+    saving = 1.0 - refined_total / raw_total
+    return AblationOutcome(
+        name="refinement",
+        question="what does the re-attachment refinement buy?",
+        metrics={
+            "raw_length": raw_total,
+            "refined_length": refined_total,
+            "saving_fraction": saving,
+        },
+        conclusion=f"refinement shortens virtual trees by {100 * saving:.1f}%",
+    )
+
+
+def ablation_transmission_model(
+    config: Optional[PaperConfig] = None,
+    group_size: int = 12,
+    task_count: int = 15,
+) -> AblationOutcome:
+    """E: broadcast frame aggregation vs per-copy unicast counting."""
+    cfg = config or PaperConfig(node_count=400)
+    network, tasks = _shared_workload(cfg, group_size, task_count)
+    shared = _mean_metrics(
+        network,
+        GMPProtocol(),
+        tasks,
+        EngineConfig(max_path_length=cfg.max_path_length,
+                     transmission_model="protocol"),
+    )
+    per_copy = _mean_metrics(
+        network,
+        GMPProtocol(),
+        tasks,
+        EngineConfig(max_path_length=cfg.max_path_length,
+                     transmission_model="unicast"),
+    )
+    inflation = per_copy["transmissions"] / shared["transmissions"] - 1.0
+    return AblationOutcome(
+        name="transmission-model",
+        question="how much does per-copy counting inflate GMP's totals?",
+        metrics={
+            "broadcast_transmissions": shared["transmissions"],
+            "unicast_transmissions": per_copy["transmissions"],
+            "inflation_fraction": inflation,
+        },
+        conclusion=f"per-copy counting inflates totals by {100 * inflation:.1f}%",
+    )
+
+
+#: All ablations in DESIGN.md order.
+ALL_ABLATIONS: Sequence[Callable[..., AblationOutcome]] = (
+    ablation_radio_range,
+    ablation_next_hop_rule,
+    ablation_rrstr_rule,
+    ablation_refinement,
+    ablation_transmission_model,
+)
+
+
+def run_all_ablations(
+    config: Optional[PaperConfig] = None,
+) -> List[AblationOutcome]:
+    """Run every ablation (network-based ones on the given config)."""
+    cfg = config or PaperConfig(node_count=400)
+    outcomes = []
+    for runner in ALL_ABLATIONS:
+        if runner in (ablation_rrstr_rule, ablation_refinement):
+            outcomes.append(runner())
+        else:
+            outcomes.append(runner(cfg))
+    return outcomes
+
+
+def render_ablations(outcomes: Sequence[AblationOutcome]) -> str:
+    """Human-readable report of ablation outcomes."""
+    lines = []
+    for outcome in outcomes:
+        lines.append(f"== {outcome.name} ==")
+        lines.append(f"   {outcome.question}")
+        for key, value in outcome.metrics.items():
+            lines.append(f"   {key}: {value:.3f}")
+        lines.append(f"   -> {outcome.conclusion}")
+        lines.append("")
+    return "\n".join(lines)

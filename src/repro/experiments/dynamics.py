@@ -1,0 +1,185 @@
+"""Dynamic multicast sessions: group membership churn between packets.
+
+The paper deliberately does not address group management (Section 2 cites
+[25, 5, 20] and moves on) — but the *reason* stateless protocols like GMP
+are attractive is precisely that membership churn costs them nothing: the
+next packet simply carries the new destination list, with no tree or mesh
+to repair.  This module makes that claim measurable: a session is a
+sequence of rounds, each multicasting to the current member set, with
+members joining and leaving between rounds under a seeded churn process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.engine import EngineConfig, TaskResult, run_task
+from repro.network.graph import WirelessNetwork
+from repro.routing.base import RoutingProtocol
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Shape of a dynamic multicast session.
+
+    Attributes:
+        rounds: Number of data packets (multicast tasks) in the session.
+        initial_group_size: Member count at session start.
+        leave_probability: Per-member, per-round probability of leaving.
+        join_probability: Per-round probability scale for joins: the number
+            of joiners is binomial(initial_group_size, join_probability).
+        min_group_size: Churn never shrinks the group below this.
+    """
+
+    rounds: int = 20
+    initial_group_size: int = 10
+    leave_probability: float = 0.15
+    join_probability: float = 0.15
+    min_group_size: int = 2
+
+    def __post_init__(self) -> None:
+        if self.rounds <= 0:
+            raise ValueError(f"session needs at least one round, got {self.rounds}")
+        if self.initial_group_size < self.min_group_size:
+            raise ValueError("initial group smaller than the minimum size")
+        for name, p in (
+            ("leave_probability", self.leave_probability),
+            ("join_probability", self.join_probability),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+
+
+@dataclass(frozen=True)
+class SessionRound:
+    """One data packet of the session."""
+
+    round_id: int
+    members: Tuple[int, ...]
+    joined: Tuple[int, ...]
+    left: Tuple[int, ...]
+    result: TaskResult
+
+
+@dataclass
+class SessionResult:
+    """Aggregate outcome of a dynamic multicast session."""
+
+    protocol: str
+    rounds: List[SessionRound] = field(default_factory=list)
+
+    @property
+    def total_transmissions(self) -> int:
+        return sum(r.result.transmissions for r in self.rounds)
+
+    @property
+    def total_energy_joules(self) -> float:
+        return sum(r.result.energy_joules for r in self.rounds)
+
+    @property
+    def membership_changes(self) -> int:
+        return sum(len(r.joined) + len(r.left) for r in self.rounds)
+
+    @property
+    def delivery_ratio(self) -> float:
+        requested = sum(len(r.members) for r in self.rounds)
+        delivered = sum(len(r.result.delivered_hops) for r in self.rounds)
+        return delivered / requested if requested else 1.0
+
+    @property
+    def mean_transmissions_per_round(self) -> float:
+        return self.total_transmissions / len(self.rounds) if self.rounds else 0.0
+
+
+def run_multicast_session(
+    network: WirelessNetwork,
+    protocol: RoutingProtocol,
+    source_id: int,
+    config: SessionConfig,
+    rng: np.random.Generator,
+    engine_config: Optional[EngineConfig] = None,
+) -> SessionResult:
+    """Run a churning multicast session and collect per-round results.
+
+    The churn sequence is driven entirely by ``rng``: pass generators with
+    the same seed to subject different protocols to the *identical*
+    membership history.
+    """
+    if not (0 <= source_id < network.node_count):
+        raise ValueError(f"source {source_id} is not a node of the network")
+    engine = engine_config or EngineConfig()
+    candidates = [n for n in range(network.node_count) if n != source_id]
+    members: Set[int] = set(
+        int(x)
+        for x in rng.choice(candidates, size=config.initial_group_size, replace=False)
+    )
+    session = SessionResult(protocol=protocol.name)
+
+    for round_id in range(config.rounds):
+        joined: Tuple[int, ...] = ()
+        left: Tuple[int, ...] = ()
+        if round_id > 0:
+            leavers = [
+                m
+                for m in sorted(members)
+                if rng.random() < config.leave_probability
+            ]
+            for m in leavers:
+                if len(members) <= config.min_group_size:
+                    break
+                members.discard(m)
+            left = tuple(leavers[: max(0, len(leavers))])
+            join_count = int(
+                rng.binomial(config.initial_group_size, config.join_probability)
+            )
+            pool = [n for n in candidates if n not in members]
+            if join_count > 0 and pool:
+                picks = rng.choice(
+                    pool, size=min(join_count, len(pool)), replace=False
+                )
+                joined = tuple(int(p) for p in picks)
+                members.update(joined)
+        snapshot = tuple(sorted(members))
+        result = run_task(
+            network,
+            protocol,
+            source_id,
+            snapshot,
+            config=engine,
+            task_id=round_id,
+        )
+        session.rounds.append(
+            SessionRound(
+                round_id=round_id,
+                members=snapshot,
+                joined=joined,
+                left=left,
+                result=result,
+            )
+        )
+    return session
+
+
+def compare_protocols_under_churn(
+    network: WirelessNetwork,
+    protocols: Sequence[RoutingProtocol],
+    source_id: int,
+    config: SessionConfig,
+    seed: int,
+    engine_config: Optional[EngineConfig] = None,
+) -> List[SessionResult]:
+    """Run the identical churn history under each protocol."""
+    return [
+        run_multicast_session(
+            network,
+            protocol,
+            source_id,
+            config,
+            np.random.default_rng(seed),
+            engine_config,
+        )
+        for protocol in protocols
+    ]

@@ -1,0 +1,119 @@
+"""Text rendering of regenerated figures.
+
+The paper's figures are line plots; in a terminal we render each as a table
+(rows = x values, columns = series) plus, where meaningful, the headline
+ratios the paper calls out (e.g. GMP's ~25% saving over PBM/LGS).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.figures import FigureResult
+
+
+def render_figure_table(figure: FigureResult, precision: int = 2) -> str:
+    """ASCII table of a :class:`FigureResult`."""
+    labels = figure.labels()
+    xs = figure.xs()
+    header = [figure.x_label] + labels
+    rows: List[List[str]] = [header]
+    for x in xs:
+        row = [f"{x:g}"]
+        for label in labels:
+            row.append(f"{figure.value(label, x):.{precision}f}")
+        rows.append(row)
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = [f"== {figure.title} ({figure.figure_id}) ==", f"   y: {figure.y_label}"]
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(widths[j]) for j, cell in enumerate(row)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_ratio_summary(
+    figure: FigureResult,
+    reference_label: str,
+    against: Sequence[str],
+) -> str:
+    """Relative savings of ``reference_label`` vs. each label in ``against``.
+
+    Reported as the mean and max percentage saving across x values,
+    mirroring the paper's "up to 25% less hops and energy" claims.
+    """
+    if reference_label not in figure.series:
+        raise KeyError(f"no series {reference_label!r} in {figure.figure_id}")
+    lines = [f"-- {reference_label} savings ({figure.figure_id}) --"]
+    for label in against:
+        if label not in figure.series:
+            continue
+        savings: List[float] = []
+        for x in figure.xs():
+            other = figure.value(label, x)
+            if other <= 0:
+                continue
+            savings.append(100.0 * (1.0 - figure.value(reference_label, x) / other))
+        if not savings:
+            lines.append(f"vs {label}: n/a")
+            continue
+        lines.append(
+            f"vs {label}: mean {sum(savings) / len(savings):.1f}% "
+            f"(max {max(savings):.1f}%)"
+        )
+    return "\n".join(lines)
+
+
+def render_confidence_table(
+    sweep,
+    metric,
+    metric_name: str,
+    confidence: float = 0.95,
+    precision: int = 2,
+) -> str:
+    """Per-protocol mean ± CI table for one metric of a group-size sweep.
+
+    Args:
+        sweep: A :class:`repro.experiments.figures.GroupSizeSweep`.
+        metric: ``TaskResult -> float`` extractor (e.g. transmissions).
+        metric_name: Heading for the table.
+        confidence: Two-sided confidence level for the Student-t interval.
+    """
+    from repro.experiments.statistics import mean_confidence_interval
+
+    labels = list(sweep.results)
+    ks = sweep.scale.group_sizes
+    header = ["k"] + labels
+    rows: List[List[str]] = [header]
+    for k in ks:
+        row = [f"{k}"]
+        for label in labels:
+            batch = sweep.results[label].get(k, [])
+            if not batch:
+                row.append("n/a")
+                continue
+            ci = mean_confidence_interval(
+                [metric(r) for r in batch], confidence=confidence
+            )
+            row.append(f"{ci.mean:.{precision}f}±{ci.half_width:.{precision}f}")
+        rows.append(row)
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = [
+        f"== {metric_name} (mean ± {int(confidence * 100)}% CI) =="
+    ]
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(widths[j]) for j, cell in enumerate(row)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def figure_as_dict_rows(figure: FigureResult) -> List[Dict[str, float]]:
+    """Figure points as flat dict rows (handy for JSON/CSV export)."""
+    rows = []
+    for x in figure.xs():
+        row: Dict[str, float] = {"x": x}
+        for label in figure.labels():
+            row[label] = figure.value(label, x)
+        rows.append(row)
+    return rows

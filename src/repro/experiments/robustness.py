@@ -1,0 +1,171 @@
+"""Robustness experiments: delivery under link loss and node failures.
+
+Extensions beyond the paper's evaluation (which assumes a loss-free MAC and
+live nodes): sweep the injected link-loss rate and the fraction of crashed
+nodes, and measure each protocol's delivery ratio and energy.  Flooding is
+included as the redundancy reference — it pays maximal energy but tolerates
+loss best, bracketing the stateless protocols from above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine import EngineConfig, run_task, summarize_results
+from repro.experiments.config import PaperConfig
+from repro.experiments.figures import FigureResult
+from repro.experiments.sweep import make_network
+from repro.experiments.workload import generate_tasks
+from repro.routing.base import RoutingProtocol
+from repro.routing.flooding import FloodingProtocol
+from repro.routing.gmp import GMPProtocol
+from repro.routing.lgs import LGSProtocol
+from repro.simkit.rng import RandomStreams, derive_seed
+
+ProtocolFactory = Callable[[], RoutingProtocol]
+
+#: Default protocol set for robustness sweeps.
+DEFAULT_PROTOCOLS: Tuple[Tuple[str, ProtocolFactory], ...] = (
+    ("GMP", GMPProtocol),
+    ("LGS", LGSProtocol),
+    ("FLOOD", FloodingProtocol),
+)
+
+
+@dataclass(frozen=True)
+class RobustnessScale:
+    """Statistical scale of the robustness sweeps."""
+
+    network_count: int = 2
+    tasks_per_network: int = 15
+    group_size: int = 8
+    loss_rates: Tuple[float, ...] = (0.0, 0.1, 0.2, 0.35, 0.5)
+    failed_fractions: Tuple[float, ...] = (0.0, 0.05, 0.1, 0.2)
+
+
+def _delivery_and_energy(
+    network,
+    factory: ProtocolFactory,
+    tasks,
+    engine: EngineConfig,
+) -> Tuple[float, float]:
+    results = [
+        run_task(network, factory(), t.source_id, t.destination_ids,
+                 config=engine, task_id=t.task_id)
+        for t in tasks
+    ]
+    summary = summarize_results(results)
+    return summary.delivery_ratio, summary.mean_energy_joules
+
+
+def link_loss_sweep(
+    config: Optional[PaperConfig] = None,
+    scale: Optional[RobustnessScale] = None,
+    protocols: Sequence[Tuple[str, ProtocolFactory]] = DEFAULT_PROTOCOLS,
+) -> Tuple[FigureResult, FigureResult]:
+    """Delivery ratio and energy vs. injected link-loss rate.
+
+    Returns ``(delivery_figure, energy_figure)``.
+    """
+    cfg = config or PaperConfig(node_count=400)
+    scl = scale or RobustnessScale()
+    streams = RandomStreams(cfg.master_seed)
+    delivery: Dict[str, List[Tuple[float, float]]] = {n: [] for n, _ in protocols}
+    energy: Dict[str, List[Tuple[float, float]]] = {n: [] for n, _ in protocols}
+    for loss in scl.loss_rates:
+        sums = {n: [0.0, 0.0] for n, _ in protocols}
+        for net_index in range(scl.network_count):
+            network = make_network(cfg, net_index)
+            tasks = generate_tasks(
+                network,
+                scl.tasks_per_network,
+                scl.group_size,
+                streams.stream("robust-loss", net_index),
+            )
+            engine = EngineConfig(
+                max_path_length=cfg.max_path_length,
+                link_loss_rate=loss,
+                loss_seed=derive_seed(cfg.master_seed, "loss", net_index),
+            )
+            for name, factory in protocols:
+                ratio, joules = _delivery_and_energy(network, factory, tasks, engine)
+                sums[name][0] += ratio
+                sums[name][1] += joules
+        for name, _ in protocols:
+            delivery[name].append((loss, sums[name][0] / scl.network_count))
+            energy[name].append((loss, sums[name][1] / scl.network_count))
+    return (
+        FigureResult(
+            figure_id="robust-loss-delivery",
+            title="Delivery ratio under link loss",
+            x_label="per-copy loss probability",
+            y_label="delivered / requested",
+            series=delivery,
+        ),
+        FigureResult(
+            figure_id="robust-loss-energy",
+            title="Energy under link loss",
+            x_label="per-copy loss probability",
+            y_label="mean energy per task (J)",
+            series=energy,
+        ),
+    )
+
+
+def node_failure_sweep(
+    config: Optional[PaperConfig] = None,
+    scale: Optional[RobustnessScale] = None,
+    protocols: Sequence[Tuple[str, ProtocolFactory]] = DEFAULT_PROTOCOLS,
+) -> FigureResult:
+    """Delivery ratio vs. fraction of silently crashed nodes.
+
+    Crashed nodes are chosen uniformly (excluding each task's source); the
+    protocols keep using stale neighbor tables, so copies routed into dead
+    nodes vanish — the between-beacons failure window.
+    """
+    cfg = config or PaperConfig(node_count=400)
+    scl = scale or RobustnessScale()
+    streams = RandomStreams(cfg.master_seed)
+    series: Dict[str, List[Tuple[float, float]]] = {n: [] for n, _ in protocols}
+    for fraction in scl.failed_fractions:
+        sums = {n: 0.0 for n, _ in protocols}
+        for net_index in range(scl.network_count):
+            network = make_network(cfg, net_index)
+            fail_rng = np.random.default_rng(
+                derive_seed(cfg.master_seed, "crash", net_index, fraction)
+            )
+            failed_count = int(round(fraction * network.node_count))
+            failed = frozenset(
+                int(x)
+                for x in fail_rng.choice(
+                    network.node_count, size=failed_count, replace=False
+                )
+            )
+            tasks = [
+                t
+                for t in generate_tasks(
+                    network,
+                    scl.tasks_per_network * 2,
+                    scl.group_size,
+                    streams.stream("robust-crash", net_index, fraction),
+                )
+                if t.source_id not in failed
+            ][: scl.tasks_per_network]
+            engine = EngineConfig(
+                max_path_length=cfg.max_path_length, failed_node_ids=failed
+            )
+            for name, factory in protocols:
+                ratio, _ = _delivery_and_energy(network, factory, tasks, engine)
+                sums[name] += ratio
+        for name, _ in protocols:
+            series[name].append((fraction, sums[name] / scl.network_count))
+    return FigureResult(
+        figure_id="robust-crash-delivery",
+        title="Delivery ratio under silent node failures",
+        x_label="fraction of crashed nodes",
+        y_label="delivered / requested",
+        series=series,
+    )

@@ -1,0 +1,200 @@
+"""The paper's worked examples as executable scenarios.
+
+The paper explains its mechanisms on six hand-drawn figures.  This module
+reconstructs each as a concrete network geometry whose defining property is
+*checkable*, so the worked examples double as regression anchors:
+
+* :func:`figure4_instance` — the rrSTR walk-through (far pair merges under
+  a virtual destination, mid/near destinations chain onto the trunk);
+* :func:`figure8_network` — the GMP routing example (relays n1..n5 between
+  a source and destinations c, u, v, d);
+* :func:`figure9_network` — the group-splitting situation (one pivot for
+  all destinations but no single valid next hop; lateral neighbors serve
+  the two branches after the split);
+* :func:`figure10_network` — the void destination that GMP absorbs into a
+  routable group while PBM sends it to perimeter mode;
+* :func:`figure13_instance` — the LGS sequential-visit pathology (the MST
+  from the current node is a chain, so LGS never splits).
+
+Exact coordinates are not published in the paper; these reconstructions
+preserve each figure's *qualitative* geometry, which is what the claims
+attach to.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.geometry import Point
+from repro.network import RadioConfig, build_network
+from repro.network.graph import WirelessNetwork
+
+#: Radio range shared by every scenario (the paper's Table-1 value).
+SCENARIO_RADIO_RANGE = 150.0
+
+
+def _network(points: Sequence[Point]) -> WirelessNetwork:
+    return build_network(points, RadioConfig(radio_range_m=SCENARIO_RADIO_RANGE))
+
+
+@dataclass(frozen=True)
+class SteinerInstance:
+    """A source plus destinations for tree-construction scenarios."""
+
+    source: Point
+    destinations: Tuple[Tuple[int, Point], ...]
+    description: str
+
+
+@dataclass(frozen=True)
+class RoutingScenario:
+    """A network plus a multicast task for routing scenarios."""
+
+    network: WirelessNetwork
+    source_id: int
+    destination_ids: Tuple[int, ...]
+    description: str
+
+
+def figure4_instance() -> SteinerInstance:
+    """Figures 1 and 4: destinations c (near), d (mid), u and v (far pair).
+
+    rrSTR merges (u, v) first (largest reduction ratio), then chains the
+    trunk toward the source through d's and c's neighborhood.
+    """
+    return SteinerInstance(
+        source=Point(0.0, 0.0),
+        destinations=(
+            (1, Point(140.0, 30.0)),   # c
+            (2, Point(380.0, 20.0)),   # d
+            (3, Point(620.0, 110.0)),  # u
+            (4, Point(650.0, 30.0)),   # v
+        ),
+        description="rrSTR walk-through (paper Figures 1 and 4)",
+    )
+
+
+def figure8_network() -> RoutingScenario:
+    """Figure 8: GMP routing with relays n1..n5 between s and {c, u, v, d}.
+
+    Node ids: 0=s, 1=n1, 2=c, 3=n2, 4=n3, 5=n4, 6=n5, 7=u, 8=v, 9=d.
+    """
+    points = [
+        Point(0.0, 0.0),      # 0: s
+        Point(80.0, 20.0),    # 1: n1
+        Point(190.0, 40.0),   # 2: c (destination and relay)
+        Point(320.0, 50.0),   # 3: n2
+        Point(450.0, 60.0),   # 4: n3
+        Point(560.0, 130.0),  # 5: n4
+        Point(560.0, -20.0),  # 6: n5
+        Point(660.0, 180.0),  # 7: u
+        Point(690.0, 90.0),   # 8: v
+        Point(670.0, -60.0),  # 9: d
+    ]
+    return RoutingScenario(
+        network=_network(points),
+        source_id=0,
+        destination_ids=(2, 7, 8, 9),
+        description="GMP routing example (paper Figure 8)",
+    )
+
+
+def figure9_network() -> RoutingScenario:
+    """Figure 9: splitting when no single next hop serves the whole group.
+
+    Two destination branches ~110 degrees apart; the source's only useful
+    neighbors are lateral (n1 up, n2 down), each valid for one branch only.
+    Node ids: 0=s, 1=n1, 2=n2, 3=u, 4=v, 5=c, 6=d, 7+=relays.
+    """
+
+    def polar(r: float, deg: float) -> Point:
+        return Point(r * math.cos(math.radians(deg)), r * math.sin(math.radians(deg)))
+
+    points = [
+        Point(0.0, 0.0),   # 0: s
+        polar(140, 95),    # 1: n1
+        polar(140, -95),   # 2: n2
+        polar(800, 55),    # 3: u
+        polar(810, 52),    # 4: v
+        polar(800, -55),   # 5: c
+        polar(810, -52),   # 6: d
+        # Relay chains so the branches are actually reachable end-to-end
+        # (consecutive chain hops are within the 150 m radio range).
+        polar(270, 80), polar(400, 70), polar(530, 63), polar(660, 58),
+        polar(270, -80), polar(400, -70), polar(530, -63), polar(660, -58),
+    ]
+    return RoutingScenario(
+        network=_network(points),
+        source_id=0,
+        destination_ids=(3, 4, 5, 6),
+        description="group splitting at the source (paper Figure 9)",
+    )
+
+
+def figure10_network() -> RoutingScenario:
+    """Figure 10: a void destination joins a routable group under GMP.
+
+    v (node 3) has no neighbor of s closer to it, so PBM immediately puts
+    it into perimeter mode; under GMP the group {u, v} still has a valid
+    next hop n, so the source keeps the whole group greedy.  Relays r1, r2
+    connect v to the rest so the task can complete end-to-end.
+    Node ids: 0=s, 1=n, 2=u, 3=v, 4=r1, 5=r2.
+    """
+    points = [
+        Point(0.0, 0.0),
+        Point(120.0, 80.0),
+        Point(200.0, 150.0),
+        Point(-100.0, 250.0),
+        Point(130.0, 270.0),
+        Point(0.0, 280.0),
+    ]
+    return RoutingScenario(
+        network=_network(points),
+        source_id=0,
+        destination_ids=(2, 3),
+        description="void destination absorbed into a group (paper Figure 10)",
+    )
+
+
+def figure13_instance() -> SteinerInstance:
+    """Figure 13: the LGS chain — from c, the MST over {c,u,v,d} is a path."""
+    return SteinerInstance(
+        source=Point(0.0, 0.0),        # c (the current node)
+        destinations=(
+            (1, Point(120.0, 40.0)),   # u
+            (2, Point(240.0, 30.0)),   # v
+            (3, Point(380.0, 60.0)),   # d
+        ),
+        description="LGS sequential-visit pathology (paper Figure 13)",
+    )
+
+
+def figure13_network() -> RoutingScenario:
+    """Figure 13 with relays, runnable end-to-end."""
+    points = [
+        Point(0.0, 0.0),     # 0: c (source here)
+        Point(120.0, 20.0),  # 1: relay
+        Point(240.0, 40.0),  # 2: u
+        Point(360.0, 30.0),  # 3: relay
+        Point(480.0, 50.0),  # 4: v
+        Point(600.0, 40.0),  # 5: relay
+        Point(720.0, 60.0),  # 6: d
+    ]
+    return RoutingScenario(
+        network=_network(points),
+        source_id=0,
+        destination_ids=(2, 4, 6),
+        description="LGS chains destinations sequentially (paper Figure 13)",
+    )
+
+
+def all_scenarios() -> List[RoutingScenario]:
+    """Every runnable routing scenario (for smoke sweeps)."""
+    return [
+        figure8_network(),
+        figure9_network(),
+        figure10_network(),
+        figure13_network(),
+    ]

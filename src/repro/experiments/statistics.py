@@ -1,0 +1,202 @@
+"""Statistical treatment of experiment results.
+
+The paper reports bare averages over 10 networks x 100 tasks.  For a
+reproduction, knowing whether "GMP < LGS" is signal or noise matters, so
+this module provides:
+
+* mean + Student-t confidence intervals per protocol/metric,
+* paired per-task comparisons (the same tasks run under two protocols),
+  with a sign test — the robust way to call a winner on shared workloads,
+* win matrices across a protocol set.
+
+Implemented from scratch (normal/t quantiles via standard approximations)
+so the core library keeps its numpy/networkx-only dependency footprint;
+results agree with scipy to the precision that matters for reporting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from repro.engine.stats import TaskResult
+
+
+@dataclass(frozen=True)
+class MeanCI:
+    """Sample mean with a two-sided Student-t confidence interval."""
+
+    mean: float
+    half_width: float
+    confidence: float
+    sample_size: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def overlaps(self, other: "MeanCI") -> bool:
+        """Whether the two intervals intersect."""
+        return self.low <= other.high and other.low <= self.high
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Paired per-task comparison of one metric under two protocols."""
+
+    label_a: str
+    label_b: str
+    mean_difference: float  # mean(metric_a - metric_b)
+    wins_a: int
+    wins_b: int
+    ties: int
+    sign_test_p: float
+
+    @property
+    def significant(self) -> bool:
+        """Two-sided sign test at the 5% level."""
+        return self.sign_test_p < 0.05
+
+
+def _normal_quantile(p: float) -> float:
+    """Acklam's rational approximation of the standard normal quantile."""
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"quantile probability must be in (0,1), got {p}")
+    # Coefficients for the central and tail regions.
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    if p > 1.0 - p_low:
+        return -_normal_quantile(1.0 - p)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+    )
+
+
+def _t_quantile(p: float, dof: int) -> float:
+    """Student-t quantile via the Cornish–Fisher expansion in the normal one."""
+    if dof <= 0:
+        raise ValueError(f"degrees of freedom must be positive, got {dof}")
+    z = _normal_quantile(p)
+    g1 = (z**3 + z) / 4.0
+    g2 = (5 * z**5 + 16 * z**3 + 3 * z) / 96.0
+    g3 = (3 * z**7 + 19 * z**5 + 17 * z**3 - 15 * z) / 384.0
+    g4 = (79 * z**9 + 776 * z**7 + 1482 * z**5 - 1920 * z**3 - 945 * z) / 92160.0
+    return z + g1 / dof + g2 / dof**2 + g3 / dof**3 + g4 / dof**4
+
+
+def mean_confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> MeanCI:
+    """Sample mean with a two-sided t-interval."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0,1), got {confidence}")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return MeanCI(mean=mean, half_width=float("inf"),
+                      confidence=confidence, sample_size=1)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    se = math.sqrt(variance / n)
+    t = _t_quantile(0.5 + confidence / 2.0, n - 1)
+    return MeanCI(mean=mean, half_width=t * se, confidence=confidence, sample_size=n)
+
+
+def _sign_test_p(wins_a: int, wins_b: int) -> float:
+    """Two-sided exact binomial sign test (ties excluded)."""
+    n = wins_a + wins_b
+    if n == 0:
+        return 1.0
+    k = min(wins_a, wins_b)
+    # P[X <= k] for X ~ Binomial(n, 1/2), doubled and capped at 1.
+    total = 0.0
+    for i in range(k + 1):
+        total += math.comb(n, i)
+    p = 2.0 * total / (2.0**n)
+    return min(1.0, p)
+
+
+def paired_comparison(
+    results_a: Sequence[TaskResult],
+    results_b: Sequence[TaskResult],
+    metric: Callable[[TaskResult], float],
+    label_a: str = "A",
+    label_b: str = "B",
+) -> PairedComparison:
+    """Per-task paired comparison of ``metric`` between two result batches.
+
+    The batches must be the *same tasks* in the same order (as produced by
+    running one workload under two protocols).
+    """
+    if len(results_a) != len(results_b):
+        raise ValueError("paired comparison needs equally long result lists")
+    if not results_a:
+        raise ValueError("paired comparison needs at least one task")
+    for ra, rb in zip(results_a, results_b):
+        if ra.task_id != rb.task_id:
+            raise ValueError(
+                f"task mismatch: {ra.task_id} vs {rb.task_id} — not paired runs"
+            )
+    differences = [metric(ra) - metric(rb) for ra, rb in zip(results_a, results_b)]
+    wins_a = sum(1 for d in differences if d < 0)  # A smaller = A wins.
+    wins_b = sum(1 for d in differences if d > 0)
+    ties = len(differences) - wins_a - wins_b
+    return PairedComparison(
+        label_a=label_a,
+        label_b=label_b,
+        mean_difference=sum(differences) / len(differences),
+        wins_a=wins_a,
+        wins_b=wins_b,
+        ties=ties,
+        sign_test_p=_sign_test_p(wins_a, wins_b),
+    )
+
+
+def win_matrix(
+    batches: Mapping[str, Sequence[TaskResult]],
+    metric: Callable[[TaskResult], float],
+) -> Dict[Tuple[str, str], PairedComparison]:
+    """All pairwise paired comparisons across a protocol -> results mapping."""
+    labels = list(batches)
+    matrix: Dict[Tuple[str, str], PairedComparison] = {}
+    for i, a in enumerate(labels):
+        for b in labels[i + 1 :]:
+            matrix[(a, b)] = paired_comparison(
+                batches[a], batches[b], metric, label_a=a, label_b=b
+            )
+    return matrix
+
+
+def render_win_matrix(
+    matrix: Mapping[Tuple[str, str], PairedComparison]
+) -> str:
+    """Readable one-line-per-pair summary of a win matrix."""
+    lines = []
+    for (a, b), cmp in sorted(matrix.items()):
+        marker = "**" if cmp.significant else "  "
+        lines.append(
+            f"{marker} {a} vs {b}: wins {cmp.wins_a}-{cmp.wins_b} "
+            f"(ties {cmp.ties}), mean diff {cmp.mean_difference:+.2f}, "
+            f"sign-test p={cmp.sign_test_p:.4f}"
+        )
+    return "\n".join(lines)

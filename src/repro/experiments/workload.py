@@ -1,0 +1,62 @@
+"""Random multicast task generation.
+
+One *task* in the paper's evaluation is: pick a random source node and ``k``
+random distinct destination nodes, then deliver one message from the source
+to all destinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.network.graph import WirelessNetwork
+
+
+@dataclass(frozen=True)
+class MulticastTask:
+    """One multicast request: a source and its destination group."""
+
+    task_id: int
+    source_id: int
+    destination_ids: Tuple[int, ...]
+
+    @property
+    def group_size(self) -> int:
+        return len(self.destination_ids)
+
+
+def generate_tasks(
+    network: WirelessNetwork,
+    task_count: int,
+    group_size: int,
+    rng: np.random.Generator,
+    first_task_id: int = 0,
+) -> List[MulticastTask]:
+    """Sample ``task_count`` random tasks with ``group_size`` destinations.
+
+    Source and destinations are drawn uniformly without replacement, so the
+    source is never its own destination and destinations are distinct.
+    """
+    if task_count <= 0:
+        raise ValueError(f"task count must be positive, got {task_count}")
+    if group_size <= 0:
+        raise ValueError(f"group size must be positive, got {group_size}")
+    if group_size + 1 > network.node_count:
+        raise ValueError(
+            f"group size {group_size} needs at least {group_size + 1} nodes, "
+            f"network has {network.node_count}"
+        )
+    tasks = []
+    for i in range(task_count):
+        picks = rng.choice(network.node_count, size=group_size + 1, replace=False)
+        tasks.append(
+            MulticastTask(
+                task_id=first_task_id + i,
+                source_id=int(picks[0]),
+                destination_ids=tuple(int(p) for p in picks[1:]),
+            )
+        )
+    return tasks

@@ -1,0 +1,64 @@
+"""Computational geometry primitives used throughout the GMP reproduction.
+
+Everything in this package is pure and deterministic: points are immutable
+``Point`` named tuples in a 2-D Euclidean plane, and all predicates take an
+explicit tolerance where exactness matters.  The centerpiece is
+:func:`repro.geometry.fermat.fermat_point`, the exact Steiner (Fermat /
+Torricelli) point of a triangle, which the rrSTR heuristic of the paper
+relies on.
+"""
+
+from repro.geometry.point import (
+    Point,
+    angle_at,
+    angle_between,
+    centroid,
+    distance,
+    distance_sq,
+    lerp,
+    midpoint,
+    nearly_equal_points,
+    rotate_about,
+    unit_toward,
+)
+from repro.geometry.primitives import (
+    Orientation,
+    bearing,
+    ccw_angle_from,
+    orientation,
+    point_on_segment,
+    segment_intersection,
+    segments_cross,
+)
+from repro.geometry.fermat import (
+    fermat_point,
+    fermat_total_length,
+    weiszfeld_point,
+)
+from repro.geometry.hull import convex_hull, polygon_area
+
+__all__ = [
+    "Point",
+    "angle_at",
+    "angle_between",
+    "centroid",
+    "distance",
+    "distance_sq",
+    "lerp",
+    "midpoint",
+    "nearly_equal_points",
+    "rotate_about",
+    "unit_toward",
+    "Orientation",
+    "bearing",
+    "ccw_angle_from",
+    "orientation",
+    "point_on_segment",
+    "segment_intersection",
+    "segments_cross",
+    "fermat_point",
+    "fermat_total_length",
+    "weiszfeld_point",
+    "convex_hull",
+    "polygon_area",
+]

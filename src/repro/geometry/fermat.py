@@ -1,0 +1,142 @@
+"""Exact Steiner (Fermat / Torricelli) point of three points.
+
+The rrSTR heuristic (paper Section 3) leans on the classical fact that the
+Euclidean Steiner tree of exactly three terminals is computable in closed
+form [Neuberg 1886; Hwang et al. 1992]:
+
+* if one interior angle of the triangle is at least 120 degrees, the Steiner
+  point coincides with that vertex;
+* otherwise it is the unique interior point seeing every side under 120
+  degrees, constructed as the intersection of two Simpson lines (vertex to
+  the apex of the outward equilateral triangle on the opposite side).
+
+:func:`weiszfeld_point` provides an independent iterative solver used by the
+property-based tests to cross-check the construction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from repro.geometry.point import Point, angle_at, distance, rotate_about
+from repro.geometry.primitives import segment_intersection
+
+#: 120 degrees, the Fermat-point angle threshold.
+_DEGENERATE_ANGLE = 2.0 * math.pi / 3.0
+
+
+def _outward_apex(base_a: Point, base_b: Point, opposite: Point) -> Point:
+    """Apex of the equilateral triangle on ``base_a base_b`` away from ``opposite``."""
+    candidate_ccw = rotate_about(base_b, base_a, math.pi / 3.0)
+    candidate_cw = rotate_about(base_b, base_a, -math.pi / 3.0)
+    if distance(candidate_ccw, opposite) >= distance(candidate_cw, opposite):
+        return candidate_ccw
+    return candidate_cw
+
+
+def fermat_point(a: Point, b: Point, c: Point) -> Point:
+    """Exact Fermat/Torricelli point of the triangle ``abc``.
+
+    Handles every degeneracy that arises inside rrSTR: coincident vertices,
+    collinear triples (the middle point is the minimizer) and wide angles
+    (the wide vertex is the minimizer).
+    """
+    # Coincident-vertex degeneracies: the repeated vertex is optimal, since
+    # the problem collapses to a two-point (or one-point) median.
+    if a == b or distance(a, b) == 0.0:
+        return Point(a[0], a[1])
+    if a == c or distance(a, c) == 0.0:
+        return Point(a[0], a[1])
+    if b == c or distance(b, c) == 0.0:
+        return Point(b[0], b[1])
+
+    # Wide-angle (>= 120 degrees) case, which also covers collinear triples:
+    # the wide vertex itself is the Fermat point.
+    if angle_at(a, b, c) >= _DEGENERATE_ANGLE - 1e-12:
+        return Point(a[0], a[1])
+    if angle_at(b, a, c) >= _DEGENERATE_ANGLE - 1e-12:
+        return Point(b[0], b[1])
+    if angle_at(c, a, b) >= _DEGENERATE_ANGLE - 1e-12:
+        return Point(c[0], c[1])
+
+    # General case: intersect two Simpson lines.  Each Simpson line runs from
+    # a vertex to the apex of the outward equilateral triangle erected on the
+    # opposite side, and all three concur at the Fermat point.
+    apex_bc = _outward_apex(b, c, a)
+    apex_ca = _outward_apex(c, a, b)
+    hit = segment_intersection(a, apex_bc, b, apex_ca)
+    if hit is None:
+        # Numerical grazing near the 120-degree boundary; fall back to the
+        # iterative solver, which is robust there.
+        hit = weiszfeld_point((a, b, c))
+    # Numerical safety net: the true Fermat point is never worse than any
+    # vertex, so if precision loss (e.g. near-degenerate or subnormal
+    # triangles) produced a bad construction, fall back to the best vertex.
+    def star(p: Point) -> float:
+        return distance(p, a) + distance(p, b) + distance(p, c)
+
+    best = min((a, b, c, hit), key=star)
+    return Point(best[0], best[1])
+
+
+def fermat_total_length(a: Point, b: Point, c: Point) -> float:
+    """Length of the optimal 3-terminal Steiner tree (star through the Fermat point)."""
+    t = fermat_point(a, b, c)
+    return distance(t, a) + distance(t, b) + distance(t, c)
+
+
+def weiszfeld_point(
+    points: Sequence[Point],
+    max_iterations: int = 200,
+    tolerance: float = 1e-12,
+) -> Point:
+    """Geometric median of ``points`` via Weiszfeld iteration.
+
+    For three points the geometric median *is* the Fermat point, so this is
+    the reference oracle for :func:`fermat_point`.  Vertex-sticking (the
+    iterate landing on an input point) is handled with the standard
+    subgradient check: if the pull of the remaining points does not exceed
+    the vertex's own weight, the vertex is optimal.
+    """
+    if not points:
+        raise ValueError("geometric median of no points is undefined")
+    current = Point(
+        sum(p[0] for p in points) / len(points),
+        sum(p[1] for p in points) / len(points),
+    )
+    for _ in range(max_iterations):
+        num_x = 0.0
+        num_y = 0.0
+        denom = 0.0
+        stuck_vertex: Tuple[float, float] | None = None
+        for p in points:
+            d = distance(current, p)
+            if d < 1e-15:
+                stuck_vertex = p
+                continue
+            w = 1.0 / d
+            num_x += p[0] * w
+            num_y += p[1] * w
+            denom += w
+        if stuck_vertex is not None:
+            # Subgradient test at the vertex.
+            pull_x = 0.0
+            pull_y = 0.0
+            for p in points:
+                d = distance(current, p)
+                if d < 1e-15:
+                    continue
+                pull_x += (p[0] - current[0]) / d
+                pull_y += (p[1] - current[1]) / d
+            if math.hypot(pull_x, pull_y) <= 1.0 + 1e-12:
+                return current
+            if denom == 0.0:
+                return current
+        if denom == 0.0:
+            return current
+        nxt = Point(num_x / denom, num_y / denom)
+        if distance(nxt, current) <= tolerance:
+            return nxt
+        current = nxt
+    return current

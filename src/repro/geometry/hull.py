@@ -1,0 +1,49 @@
+"""Convex hulls and polygon areas.
+
+Used by topology diagnostics (how much of the deployment area a void covers)
+and by tests that need an outer boundary to reason about perimeter walks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.geometry.point import Point
+
+
+def convex_hull(points: Sequence[Point]) -> List[Point]:
+    """Convex hull in counterclockwise order (Andrew's monotone chain).
+
+    Collinear boundary points are dropped.  For fewer than three distinct
+    points the distinct points themselves are returned.
+    """
+    unique = sorted(set((p[0], p[1]) for p in points))
+    if len(unique) <= 2:
+        return [Point(x, y) for x, y in unique]
+
+    def cross(o, a, b):
+        return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+    lower: List = []
+    for p in unique:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+    upper: List = []
+    for p in reversed(unique):
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+    hull = lower[:-1] + upper[:-1]
+    return [Point(x, y) for x, y in hull]
+
+
+def polygon_area(polygon: Sequence[Point]) -> float:
+    """Absolute area of a simple polygon via the shoelace formula."""
+    if len(polygon) < 3:
+        return 0.0
+    twice_area = 0.0
+    for i, current in enumerate(polygon):
+        nxt = polygon[(i + 1) % len(polygon)]
+        twice_area += current[0] * nxt[1] - nxt[0] * current[1]
+    return abs(twice_area) / 2.0

@@ -1,0 +1,126 @@
+"""Orientation and segment predicates for planar routing.
+
+GPSR-style perimeter forwarding (used by GMP and PBM when a packet hits a
+void) needs three geometric tools:
+
+* counterclockwise angular sweeps around a node (the right-hand rule),
+* robust segment-intersection tests (face changes happen where the traversed
+  face edge crosses the line from the perimeter entry point to the target),
+* orientation predicates backing both of the above.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Optional
+
+from repro.geometry.point import Point
+
+_EPS = 1e-12
+
+
+class Orientation(enum.IntEnum):
+    """Orientation of an ordered point triple."""
+
+    CLOCKWISE = -1
+    COLLINEAR = 0
+    COUNTERCLOCKWISE = 1
+
+
+def orientation(a: Point, b: Point, c: Point, tolerance: float = _EPS) -> Orientation:
+    """Orientation of the triple ``(a, b, c)``.
+
+    The cross product is compared against a tolerance scaled by the magnitude
+    of the operands so that the predicate stays meaningful for coordinates of
+    any magnitude.
+    """
+    cross = (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+    scale = max(
+        abs(b[0] - a[0]), abs(b[1] - a[1]), abs(c[0] - a[0]), abs(c[1] - a[1]), 1.0
+    )
+    if abs(cross) <= tolerance * scale * scale:
+        return Orientation.COLLINEAR
+    return Orientation.COUNTERCLOCKWISE if cross > 0 else Orientation.CLOCKWISE
+
+
+def point_on_segment(p: Point, a: Point, b: Point, tolerance: float = 1e-9) -> bool:
+    """Whether ``p`` lies on the closed segment ``ab``."""
+    if orientation(a, b, p) != Orientation.COLLINEAR:
+        return False
+    return (
+        min(a[0], b[0]) - tolerance <= p[0] <= max(a[0], b[0]) + tolerance
+        and min(a[1], b[1]) - tolerance <= p[1] <= max(a[1], b[1]) + tolerance
+    )
+
+
+def segments_cross(p1: Point, p2: Point, q1: Point, q2: Point) -> bool:
+    """Whether closed segments ``p1p2`` and ``q1q2`` intersect."""
+    o1 = orientation(p1, p2, q1)
+    o2 = orientation(p1, p2, q2)
+    o3 = orientation(q1, q2, p1)
+    o4 = orientation(q1, q2, p2)
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == Orientation.COLLINEAR and point_on_segment(q1, p1, p2):
+        return True
+    if o2 == Orientation.COLLINEAR and point_on_segment(q2, p1, p2):
+        return True
+    if o3 == Orientation.COLLINEAR and point_on_segment(p1, q1, q2):
+        return True
+    if o4 == Orientation.COLLINEAR and point_on_segment(p2, q1, q2):
+        return True
+    return False
+
+
+def segment_intersection(
+    p1: Point, p2: Point, q1: Point, q2: Point
+) -> Optional[Point]:
+    """Intersection point of segments ``p1p2`` and ``q1q2``, if any.
+
+    Returns ``None`` when the segments do not intersect.  For collinear
+    overlapping segments an arbitrary shared point is returned (an endpoint
+    of the overlap) — perimeter forwarding only needs *a* crossing witness.
+    """
+    r = (p2[0] - p1[0], p2[1] - p1[1])
+    s = (q2[0] - q1[0], q2[1] - q1[1])
+    denom = r[0] * s[1] - r[1] * s[0]
+    qp = (q1[0] - p1[0], q1[1] - p1[1])
+    if abs(denom) < _EPS:
+        # Parallel.  Check collinear overlap via on-segment endpoint tests.
+        for candidate in (q1, q2):
+            if point_on_segment(candidate, p1, p2):
+                return Point(candidate[0], candidate[1])
+        for candidate in (p1, p2):
+            if point_on_segment(candidate, q1, q2):
+                return Point(candidate[0], candidate[1])
+        return None
+    t = (qp[0] * s[1] - qp[1] * s[0]) / denom
+    u = (qp[0] * r[1] - qp[1] * r[0]) / denom
+    slack = 1e-12
+    if -slack <= t <= 1.0 + slack and -slack <= u <= 1.0 + slack:
+        return Point(p1[0] + t * r[0], p1[1] + t * r[1])
+    return None
+
+
+def bearing(origin: Point, target: Point) -> float:
+    """Angle of the vector ``origin -> target`` in ``[0, 2*pi)``."""
+    theta = math.atan2(target[1] - origin[1], target[0] - origin[0])
+    if theta < 0.0:
+        theta += 2.0 * math.pi
+    return theta
+
+
+def ccw_angle_from(origin: Point, reference: Point, candidate: Point) -> float:
+    """Counterclockwise sweep angle at ``origin`` from ``reference`` to ``candidate``.
+
+    Result is in ``(0, 2*pi]``; a candidate collinear with the reference in
+    the same direction maps to ``2*pi`` rather than 0 so that, under the
+    right-hand rule, the reverse edge is taken only as a last resort.
+    """
+    sweep = bearing(origin, candidate) - bearing(origin, reference)
+    while sweep <= 0.0:
+        sweep += 2.0 * math.pi
+    while sweep > 2.0 * math.pi:
+        sweep -= 2.0 * math.pi
+    return sweep

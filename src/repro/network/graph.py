@@ -1,0 +1,200 @@
+"""Unit-disk connectivity with constant-time spatial range queries.
+
+:class:`WirelessNetwork` is the authoritative global state of a simulated
+deployment: node locations, the unit-disk neighbor relation induced by the
+radio range, planarized (Gabriel / RNG) neighbor subsets for perimeter
+routing, and conversions to :mod:`networkx` for the centralized SMT baseline
+and connectivity checks.
+
+Protocol implementations never touch this class directly — they see only the
+per-node :class:`repro.routing.base.NodeView` carved out of it, which is how
+the paper's locality constraint is enforced in code.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.geometry import Point, distance
+from repro.network.node import SensorNode
+from repro.network.planar import gabriel_neighbors, rng_neighbors
+from repro.network.radio import RadioConfig
+
+
+class SpatialGrid:
+    """Uniform hash grid over the plane for radius queries."""
+
+    def __init__(self, points: Sequence[Point], cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ValueError(f"cell size must be positive, got {cell_size}")
+        self._cell_size = cell_size
+        self._cells: Dict[Tuple[int, int], List[int]] = {}
+        self._points = list(points)
+        for idx, p in enumerate(self._points):
+            self._cells.setdefault(self._cell_of(p), []).append(idx)
+
+    def _cell_of(self, p: Point) -> Tuple[int, int]:
+        return (int(math.floor(p[0] / self._cell_size)), int(math.floor(p[1] / self._cell_size)))
+
+    def indices_within(self, center: Point, radius: float) -> List[int]:
+        """Indices of points within ``radius`` of ``center`` (inclusive)."""
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        reach = int(math.ceil(radius / self._cell_size))
+        cx, cy = self._cell_of(center)
+        hits: List[int] = []
+        radius_sq = radius * radius
+        for gx in range(cx - reach, cx + reach + 1):
+            for gy in range(cy - reach, cy + reach + 1):
+                for idx in self._cells.get((gx, gy), ()):
+                    p = self._points[idx]
+                    dx = p[0] - center[0]
+                    dy = p[1] - center[1]
+                    if dx * dx + dy * dy <= radius_sq:
+                        hits.append(idx)
+        return hits
+
+
+class WirelessNetwork:
+    """A deployed sensor network: nodes, links, and planar overlays."""
+
+    def __init__(self, points: Sequence[Point], radio: RadioConfig) -> None:
+        if not points:
+            raise ValueError("a network needs at least one node")
+        self.radio = radio
+        self.nodes: List[SensorNode] = [
+            SensorNode(node_id=i, location=Point(float(p[0]), float(p[1])))
+            for i, p in enumerate(points)
+        ]
+        self.locations = np.array([[p[0], p[1]] for p in points], dtype=float)
+        self._grid = SpatialGrid([n.location for n in self.nodes], radio.radio_range_m)
+        self._neighbors: List[Tuple[int, ...]] = self._build_neighbor_lists()
+        self._gabriel_cache: Dict[int, Tuple[int, ...]] = {}
+        self._rng_cache: Dict[int, Tuple[int, ...]] = {}
+        self._nx_graph: Optional[nx.Graph] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _build_neighbor_lists(self) -> List[Tuple[int, ...]]:
+        neighbor_lists: List[Tuple[int, ...]] = []
+        rr = self.radio.radio_range_m
+        for node in self.nodes:
+            in_range = self._grid.indices_within(node.location, rr)
+            neighbor_lists.append(
+                tuple(sorted(i for i in in_range if i != node.node_id))
+            )
+        return neighbor_lists
+
+    # ------------------------------------------------------------------
+    # Topology queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def location_of(self, node_id: int) -> Point:
+        """Coordinates of node ``node_id``."""
+        return self.nodes[node_id].location
+
+    def neighbors_of(self, node_id: int) -> Tuple[int, ...]:
+        """Ids of all nodes within radio range of ``node_id`` (excluding itself)."""
+        return self._neighbors[node_id]
+
+    def nodes_within(self, center: Point, radius: float) -> List[int]:
+        """Ids of nodes within ``radius`` of an arbitrary point."""
+        return self._grid.indices_within(center, radius)
+
+    def listeners_of(self, sender_id: int) -> Tuple[int, ...]:
+        """Nodes that overhear a transmission by ``sender_id``.
+
+        With an omnidirectional antenna every node inside the sender's radio
+        range receives the signal and pays receive power — this is the set
+        the energy model of Section 5.3 charges.
+        """
+        return self._neighbors[sender_id]
+
+    def are_neighbors(self, a: int, b: int) -> bool:
+        """Whether nodes ``a`` and ``b`` share a direct radio link."""
+        return b in self._neighbors[a]
+
+    def average_degree(self) -> float:
+        """Mean neighbor count across nodes — the usual density proxy."""
+        if not self.nodes:
+            return 0.0
+        return sum(len(n) for n in self._neighbors) / len(self.nodes)
+
+    def closest_node_to(self, target: Point) -> int:
+        """Id of the node nearest to an arbitrary location."""
+        deltas = self.locations - np.asarray([target[0], target[1]])
+        return int(np.argmin(np.einsum("ij,ij->i", deltas, deltas)))
+
+    # ------------------------------------------------------------------
+    # Planar overlays (local computations, cached)
+    # ------------------------------------------------------------------
+
+    def gabriel_neighbors_of(self, node_id: int) -> Tuple[int, ...]:
+        """Neighbors kept by the Gabriel-graph planarization at ``node_id``.
+
+        Computed from purely local information (the node's own neighbor
+        table), exactly as GPSR/GMP planarize in the field.
+        """
+        if node_id not in self._gabriel_cache:
+            self._gabriel_cache[node_id] = gabriel_neighbors(
+                node_id,
+                self._neighbors[node_id],
+                lambda i: self.nodes[i].location,
+            )
+        return self._gabriel_cache[node_id]
+
+    def rng_neighbors_of(self, node_id: int) -> Tuple[int, ...]:
+        """Neighbors kept by the Relative-Neighborhood-Graph planarization."""
+        if node_id not in self._rng_cache:
+            self._rng_cache[node_id] = rng_neighbors(
+                node_id,
+                self._neighbors[node_id],
+                lambda i: self.nodes[i].location,
+            )
+        return self._rng_cache[node_id]
+
+    # ------------------------------------------------------------------
+    # Global views (for SMT and diagnostics only)
+    # ------------------------------------------------------------------
+
+    def to_networkx(self) -> nx.Graph:
+        """The unit-disk graph with Euclidean edge weights (cached)."""
+        if self._nx_graph is None:
+            graph = nx.Graph()
+            for node in self.nodes:
+                graph.add_node(node.node_id, location=node.location)
+            for node in self.nodes:
+                for other in self._neighbors[node.node_id]:
+                    if other > node.node_id:
+                        graph.add_edge(
+                            node.node_id,
+                            other,
+                            weight=distance(node.location, self.nodes[other].location),
+                        )
+            self._nx_graph = graph
+        return self._nx_graph
+
+    def is_connected(self) -> bool:
+        """Whether the unit-disk graph is a single component."""
+        return nx.is_connected(self.to_networkx())
+
+
+def build_network(
+    points: Iterable[Point],
+    radio: RadioConfig | None = None,
+) -> WirelessNetwork:
+    """Convenience constructor with Table-1 radio defaults."""
+    return WirelessNetwork(list(points), radio or RadioConfig())

@@ -1,0 +1,104 @@
+"""Random-waypoint mobility.
+
+The paper's own setting is static sensors, but its baselines (PBM, LGT)
+come from the MANET world; a mobility model lets the examples and tests
+demonstrate the other advantage of stateless protocols: after nodes move,
+the very next packet routes correctly with zero reconfiguration, because
+there is no distributed structure to repair.
+
+The model is epoch-based: :meth:`RandomWaypointMobility.advance` moves every
+node for ``dt`` seconds and returns the new positions, from which the caller
+builds a fresh :class:`~repro.network.graph.WirelessNetwork` (neighbor
+tables in real deployments are refreshed by periodic beacons; an epoch
+models one beacon interval).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry import Point, distance
+
+
+class RandomWaypointMobility:
+    """Classic random-waypoint: pick a waypoint, travel, pause, repeat."""
+
+    def __init__(
+        self,
+        initial_positions: Sequence[Point],
+        width: float,
+        height: float,
+        rng: np.random.Generator,
+        speed_range_mps: Tuple[float, float] = (0.5, 2.0),
+        pause_time_s: float = 0.0,
+    ) -> None:
+        if not initial_positions:
+            raise ValueError("mobility model needs at least one node")
+        if width <= 0 or height <= 0:
+            raise ValueError("field dimensions must be positive")
+        low, high = speed_range_mps
+        if low <= 0 or high < low:
+            raise ValueError(f"invalid speed range {speed_range_mps}")
+        if pause_time_s < 0:
+            raise ValueError(f"pause time must be non-negative, got {pause_time_s}")
+        for p in initial_positions:
+            if not (0 <= p[0] <= width and 0 <= p[1] <= height):
+                raise ValueError(f"initial position {p} outside the field")
+        self.width = width
+        self.height = height
+        self.speed_range_mps = speed_range_mps
+        self.pause_time_s = pause_time_s
+        self._rng = rng
+        self._positions: List[Point] = [Point(p[0], p[1]) for p in initial_positions]
+        self._waypoints: List[Point] = [self._new_waypoint() for _ in initial_positions]
+        self._speeds: List[float] = [self._new_speed() for _ in initial_positions]
+        self._pause_left: List[float] = [0.0] * len(initial_positions)
+
+    def _new_waypoint(self) -> Point:
+        return Point(
+            float(self._rng.uniform(0.0, self.width)),
+            float(self._rng.uniform(0.0, self.height)),
+        )
+
+    def _new_speed(self) -> float:
+        low, high = self.speed_range_mps
+        return float(self._rng.uniform(low, high))
+
+    @property
+    def positions(self) -> List[Point]:
+        """Current node positions (copy)."""
+        return list(self._positions)
+
+    def advance(self, dt: float) -> List[Point]:
+        """Move every node for ``dt`` seconds; returns the new positions."""
+        if dt < 0:
+            raise ValueError(f"dt must be non-negative, got {dt}")
+        for index in range(len(self._positions)):
+            remaining = dt
+            while remaining > 1e-12:
+                if self._pause_left[index] > 0:
+                    pause = min(self._pause_left[index], remaining)
+                    self._pause_left[index] -= pause
+                    remaining -= pause
+                    continue
+                position = self._positions[index]
+                waypoint = self._waypoints[index]
+                gap = distance(position, waypoint)
+                speed = self._speeds[index]
+                if gap <= speed * remaining:
+                    # Reach the waypoint, pause, pick a new leg.
+                    self._positions[index] = waypoint
+                    remaining -= gap / speed if speed > 0 else remaining
+                    self._pause_left[index] = self.pause_time_s
+                    self._waypoints[index] = self._new_waypoint()
+                    self._speeds[index] = self._new_speed()
+                else:
+                    step = speed * remaining / gap
+                    self._positions[index] = Point(
+                        position[0] + (waypoint[0] - position[0]) * step,
+                        position[1] + (waypoint[1] - position[1]) * step,
+                    )
+                    remaining = 0.0
+        return self.positions

@@ -1,0 +1,33 @@
+"""The sensor-node model.
+
+In the paper (Section 2) a node's location *is* its identity and network
+address; packets are marked with the location of the intended next hop and
+the matching node picks them up.  We additionally keep an integer id purely
+as an efficient dictionary key — protocol code never derives information from
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Point
+
+
+@dataclass(frozen=True)
+class SensorNode:
+    """One wireless sensor node.
+
+    Attributes:
+        node_id: Stable integer key (an implementation convenience; the
+            protocol-level address is ``location``).
+        location: The node's coordinates, known to the node itself via GPS
+            or calibration per the paper's model.
+    """
+
+    node_id: int
+    location: Point
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError(f"node id must be non-negative, got {self.node_id}")

@@ -1,0 +1,5 @@
+"""Packet model for location-addressed multicast forwarding."""
+
+from repro.packets.packet import Destination, MulticastPacket, PerimeterState
+
+__all__ = ["Destination", "MulticastPacket", "PerimeterState"]

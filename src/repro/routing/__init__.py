@@ -1,0 +1,54 @@
+"""Routing protocols.
+
+All protocols implement :class:`repro.routing.base.RoutingProtocol` and make
+forwarding decisions from a :class:`repro.routing.base.NodeView` — the local
+knowledge (own location + neighbor table) the paper allows a sensor node.
+
+* :mod:`repro.routing.gmp` — the paper's contribution (GMP), including the
+  GMPnr ablation (radio-range awareness off).
+* :mod:`repro.routing.lgs` — location-guided Steiner/k-ary trees [Chen &
+  Nahrstedt 2002] (LGS, LGK).
+* :mod:`repro.routing.pbm` — position-based multicast [Mauve et al. 2003].
+* :mod:`repro.routing.smt` — the centralized KMB source-routing baseline.
+* :mod:`repro.routing.grd` — per-destination greedy unicast (lower bound on
+  per-destination hop count).
+"""
+
+from repro.routing.base import NodeView, RoutingProtocol, ForwardDecision
+from repro.routing.greedy import (
+    closest_neighbor_to,
+    greedy_next_hop,
+    total_distance,
+)
+from repro.routing.perimeter import (
+    PerimeterUnreachable,
+    enter_perimeter,
+    perimeter_next_hop,
+)
+from repro.routing.gmp import GMPProtocol
+from repro.routing.lgs import LGKProtocol, LGSProtocol
+from repro.routing.pbm import PBMProtocol
+from repro.routing.smt import SMTProtocol
+from repro.routing.grd import GRDProtocol
+from repro.routing.gpsr import GPSRProtocol
+from repro.routing.flooding import FloodingProtocol
+
+__all__ = [
+    "NodeView",
+    "RoutingProtocol",
+    "ForwardDecision",
+    "closest_neighbor_to",
+    "greedy_next_hop",
+    "total_distance",
+    "PerimeterUnreachable",
+    "enter_perimeter",
+    "perimeter_next_hop",
+    "GMPProtocol",
+    "LGSProtocol",
+    "LGKProtocol",
+    "PBMProtocol",
+    "SMTProtocol",
+    "GRDProtocol",
+    "GPSRProtocol",
+    "FloodingProtocol",
+]

@@ -1,0 +1,166 @@
+"""Protocol interface and the per-node local view.
+
+The paper's protocols are *stateless and fully distributed*: a forwarding
+decision may use only the node's own location, the locations of its
+immediate neighbors, and the contents of the packet.  :class:`NodeView` is
+that capability, carved out of the global :class:`WirelessNetwork` by the
+engine; protocol code receives nothing else, so it cannot accidentally use
+global knowledge.  The one deliberate exception is the centralized SMT
+baseline, which the engine grants whole-network access via
+:meth:`RoutingProtocol.prepare_task` (mirroring the paper's "for comparison
+purposes only" framing).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from repro.geometry import Point
+from repro.network.graph import WirelessNetwork
+from repro.packets import MulticastPacket
+
+
+class ForwardDecision(NamedTuple):
+    """One outgoing copy: the chosen next hop and the packet to send it."""
+
+    next_hop_id: int
+    packet: MulticastPacket
+
+
+class NodeView:
+    """What a single node is allowed to know.
+
+    Exposes the node's own id/location, its neighbor table (ids and
+    locations), the radio range, and the locally-computed planar (Gabriel)
+    neighbor subset used by perimeter mode.
+    """
+
+    __slots__ = ("_network", "node_id", "location")
+
+    def __init__(self, network: WirelessNetwork, node_id: int) -> None:
+        self._network = network
+        self.node_id = node_id
+        self.location = network.location_of(node_id)
+
+    @property
+    def radio_range(self) -> float:
+        return self._network.radio.radio_range_m
+
+    @property
+    def neighbor_ids(self) -> Tuple[int, ...]:
+        """Ids of every node within radio range."""
+        return self._network.neighbors_of(self.node_id)
+
+    @property
+    def planar_neighbor_ids(self) -> Tuple[int, ...]:
+        """Gabriel-graph neighbor subset (for perimeter forwarding)."""
+        return self._network.gabriel_neighbors_of(self.node_id)
+
+    def location_of(self, neighbor_id: int) -> Point:
+        """Location of a neighbor (or of this node itself).
+
+        Raises ``ValueError`` for any other node: a sensor only knows the
+        positions of nodes it can hear.
+        """
+        if neighbor_id != self.node_id and not self._network.are_neighbors(
+            self.node_id, neighbor_id
+        ):
+            raise ValueError(
+                f"node {self.node_id} has no knowledge of non-neighbor {neighbor_id}"
+            )
+        return self._network.location_of(neighbor_id)
+
+    def neighbor_location_array(self) -> np.ndarray:
+        """Neighbor locations as an ``(m, 2)`` array aligned with ``neighbor_ids``."""
+        ids = self.neighbor_ids
+        if not ids:
+            return np.empty((0, 2), dtype=float)
+        return self._network.locations[list(ids)]
+
+
+class RoutingProtocol(abc.ABC):
+    """A stateless multicast forwarding discipline.
+
+    Subclasses decide, for one received packet at one node, which neighbors
+    get which destination subsets.  Returning an empty list while the packet
+    still carries destinations means the protocol gives up on them (the
+    engine records a delivery failure) — e.g. LGS at a void.
+    """
+
+    #: Short display name used in reports and figures.
+    name: str = "base"
+
+    #: Whether this protocol may address the same destination in several
+    #: copies of one forwarding step.  Partitioning protocols (everything in
+    #: the paper) never do, and the engine validates that; redundancy-based
+    #: protocols (flooding) opt out.
+    duplicates_allowed: bool = False
+
+    #: Whether one forwarding step's copies share a single radio
+    #: transmission.  The paper's network model (Section 2) is broadcast
+    #: with location-based pickup — "each packet is marked with the location
+    #: of the next hop and the corresponding node picks up the packet" — so
+    #: a multicast protocol that splits a group bundles the per-group copies
+    #: into one frame (the wireless multicast advantage).  GRD overrides
+    #: this with ``False``: its packets are *independently* routed unicasts
+    #: by definition.
+    aggregates_copies: bool = True
+
+    def prepare_task(
+        self,
+        network: WirelessNetwork,
+        source_id: int,
+        destination_ids: Tuple[int, ...],
+    ) -> None:
+        """Hook run once per task before the source transmits.
+
+        Distributed protocols ignore it; the centralized SMT baseline uses
+        it to compute its global Steiner tree.
+        """
+
+    @abc.abstractmethod
+    def handle(
+        self, view: NodeView, packet: MulticastPacket
+    ) -> List[ForwardDecision]:
+        """Forwarding decision at ``view.node_id`` for ``packet``.
+
+        The engine has already removed the current node from the packet's
+        destination list and recorded the delivery; ``packet.destinations``
+        is therefore non-empty and contains only other nodes.
+        """
+
+    def describe(self) -> str:
+        """One-line description for reports."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+def merge_decisions(decisions: List[ForwardDecision]) -> List[ForwardDecision]:
+    """Merge greedy copies addressed to the same next hop.
+
+    Two groups whose selected next hop coincides can share one transmission
+    (the receiver re-splits anyway).  Perimeter-mode copies are never merged
+    — their recovery state is per-group.
+    """
+    merged: List[ForwardDecision] = []
+    index_by_hop: dict = {}
+    for decision in decisions:
+        if decision.packet.in_perimeter_mode:
+            merged.append(decision)
+            continue
+        existing = index_by_hop.get(decision.next_hop_id)
+        if existing is None:
+            index_by_hop[decision.next_hop_id] = len(merged)
+            merged.append(decision)
+        else:
+            prior = merged[existing]
+            combined = prior.packet.with_destinations(
+                tuple(prior.packet.destinations) + tuple(decision.packet.destinations)
+            )
+            merged[existing] = ForwardDecision(decision.next_hop_id, combined)
+    return merged

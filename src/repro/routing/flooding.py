@@ -1,0 +1,52 @@
+"""Blind flooding: the delivery upper bound / energy worst case.
+
+Every node rebroadcasts each task's packet once to all of its neighbors.
+Flooding reaches every node in the source's connected component (within the
+TTL) no matter how the protocol-level geometry looks, so it upper-bounds
+delivery — at maximal energy cost.  Included as the reference point for the
+robustness experiments: under heavy link loss, flooding's redundancy is the
+only thing that still delivers.
+
+Flooding needs duplicate suppression (else packets multiply forever); a
+real implementation uses (source, sequence-number) caches, which we model
+with a per-task seen-set reset in :meth:`prepare_task`.  That makes the
+protocol *soft-state*, like the caches of real flooding — not stateless in
+the paper's sense.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.packets import MulticastPacket
+from repro.routing.base import ForwardDecision, NodeView, RoutingProtocol
+from repro.network.graph import WirelessNetwork
+
+
+class FloodingProtocol(RoutingProtocol):
+    """Rebroadcast-once flooding with per-task duplicate suppression."""
+
+    name = "FLOOD"
+    duplicates_allowed = True
+
+    def __init__(self) -> None:
+        self._forwarded_by: Set[int] = set()
+
+    def prepare_task(
+        self,
+        network: WirelessNetwork,
+        source_id: int,
+        destination_ids: Tuple[int, ...],
+    ) -> None:
+        """Reset the duplicate-suppression cache for a new task."""
+        self._forwarded_by = set()
+
+    def handle(
+        self, view: NodeView, packet: MulticastPacket
+    ) -> List[ForwardDecision]:
+        if view.node_id in self._forwarded_by:
+            return []  # Already rebroadcast this task's packet.
+        self._forwarded_by.add(view.node_id)
+        return [
+            ForwardDecision(neighbor, packet) for neighbor in view.neighbor_ids
+        ]

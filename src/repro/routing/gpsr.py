@@ -1,0 +1,82 @@
+"""GPSR: Greedy Perimeter Stateless Routing [Karp & Kung 2000].
+
+The unicast workhorse the paper's whole protocol family builds on, included
+as a first-class protocol: greedy geographic forwarding with perimeter-mode
+recovery on the Gabriel graph.  Useful as
+
+* a recovery-enabled unicast upper bound for GRD (which is greedy-only),
+* a direct way to exercise the perimeter machinery in isolation,
+* the natural protocol for one-destination "multicast" tasks.
+
+A multi-destination packet is treated as independent unicasts (one copy per
+destination, never re-merged), so like GRD it reports per-copy
+transmissions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.packets import MulticastPacket
+from repro.routing.base import ForwardDecision, NodeView, RoutingProtocol
+from repro.routing.greedy import PROGRESS_EPSILON, greedy_next_hop
+from repro.routing.perimeter import enter_perimeter, perimeter_next_hop
+from repro.geometry import distance
+
+
+class GPSRProtocol(RoutingProtocol):
+    """Greedy + perimeter unicast, run independently per destination."""
+
+    name = "GPSR"
+    #: Independent unicast streams: one frame per copy, as with GRD.
+    aggregates_copies = False
+
+    def handle(
+        self, view: NodeView, packet: MulticastPacket
+    ) -> List[ForwardDecision]:
+        decisions: List[ForwardDecision] = []
+        if packet.in_perimeter_mode:
+            # Perimeter copies are always single-destination by
+            # construction (see below).
+            decisions.extend(self._handle_perimeter(view, packet))
+            return decisions
+        for dest in packet.destinations:
+            single = packet.with_destinations([dest])
+            next_hop = greedy_next_hop(view, dest.location)
+            if next_hop is not None:
+                decisions.append(ForwardDecision(next_hop, single))
+                continue
+            # Local minimum: enter perimeter mode for this destination.
+            state = enter_perimeter(view, [dest])
+            step = perimeter_next_hop(view, state)
+            if step is None:
+                continue  # Isolated or toured: this destination fails.
+            hop, new_state = step
+            decisions.append(
+                ForwardDecision(hop, single.with_perimeter([dest], new_state))
+            )
+        return decisions
+
+    def _handle_perimeter(
+        self, view: NodeView, packet: MulticastPacket
+    ) -> List[ForwardDecision]:
+        state = packet.perimeter
+        assert state is not None
+        dest = packet.destinations[0]
+        # GPSR's exit rule: resume greedy once strictly closer to the
+        # destination than the point where the packet entered perimeter
+        # mode.
+        if (
+            distance(view.location, dest.location)
+            < state.entry_total_distance - PROGRESS_EPSILON
+        ):
+            next_hop = greedy_next_hop(view, dest.location)
+            if next_hop is not None:
+                return [ForwardDecision(next_hop, packet.with_destinations([dest]))]
+        step = perimeter_next_hop(view, state)
+        if step is None:
+            return []
+        hop, new_state = step
+        return [
+            ForwardDecision(hop, packet.with_perimeter([dest], new_state))
+        ]

@@ -1,0 +1,38 @@
+"""GRD: independent greedy unicast per destination.
+
+The paper's extreme-case baseline (Section 5): a separate packet is
+greedily routed toward each destination, with no sharing between paths.
+Greedy geographic forwarding explicitly minimizes each destination's own
+hop count, so GRD lower-bounds the *per-destination* hop count (Figure 12)
+while being maximally wasteful in *total* hops.  It performs no void
+recovery ("the other protocols do not use perimeter routing", Section 5.4).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.packets import MulticastPacket
+from repro.routing.base import ForwardDecision, NodeView, RoutingProtocol
+from repro.routing.greedy import greedy_next_hop
+
+
+class GRDProtocol(RoutingProtocol):
+    """Per-destination greedy unicast (no multicast sharing)."""
+
+    name = "GRD"
+    #: Independent unicast packets never share a frame, by definition.
+    aggregates_copies = False
+
+    def handle(
+        self, view: NodeView, packet: MulticastPacket
+    ) -> List[ForwardDecision]:
+        decisions: List[ForwardDecision] = []
+        for dest in packet.destinations:
+            next_hop = greedy_next_hop(view, dest.location)
+            if next_hop is None:
+                continue  # Local minimum: this destination's delivery fails.
+            decisions.append(
+                ForwardDecision(next_hop, packet.with_destinations([dest]))
+            )
+        return decisions

@@ -1,0 +1,88 @@
+"""Greedy geographic forwarding primitives shared by all protocols."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry import Point, distance
+from repro.routing.base import NodeView
+
+#: Strictness slack for progress comparisons: a neighbor must beat the
+#: current node's distance by more than this to count as progress, so
+#: floating-point ties can never produce a forwarding loop.
+PROGRESS_EPSILON = 1e-9
+
+
+def total_distance(origin: Point, targets: Iterable[Point]) -> float:
+    """Sum of Euclidean distances from ``origin`` to each target."""
+    return sum(distance(origin, t) for t in targets)
+
+
+def closest_neighbor_to(view: NodeView, target: Point) -> Optional[int]:
+    """The neighbor nearest to ``target`` (no progress constraint)."""
+    ids = view.neighbor_ids
+    if not ids:
+        return None
+    locations = view.neighbor_location_array()
+    deltas = locations - np.asarray([target[0], target[1]])
+    return ids[int(np.argmin(np.einsum("ij,ij->i", deltas, deltas)))]
+
+
+def greedy_next_hop(view: NodeView, target: Point) -> Optional[int]:
+    """Greedy geographic unicast step toward ``target``.
+
+    Returns the neighbor closest to ``target`` among those *strictly* closer
+    to it than the current node, or ``None`` at a local minimum (void).
+    """
+    ids = view.neighbor_ids
+    if not ids:
+        return None
+    locations = view.neighbor_location_array()
+    deltas = locations - np.asarray([target[0], target[1]])
+    dists = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+    own = distance(view.location, target)
+    best_idx = int(np.argmin(dists))
+    if dists[best_idx] < own - PROGRESS_EPSILON:
+        return ids[best_idx]
+    return None
+
+
+def group_distance_sums(view: NodeView, group_locations: Sequence[Point]) -> np.ndarray:
+    """Per-neighbor sums of distances to every location in the group.
+
+    Vectorized backbone of GMP/PBM next-hop selection: entry ``i`` is
+    ``sum_z d(neighbor_i, z)`` aligned with ``view.neighbor_ids``.
+    """
+    locations = view.neighbor_location_array()
+    if locations.shape[0] == 0 or not group_locations:
+        return np.zeros(locations.shape[0], dtype=float)
+    targets = np.asarray([[p[0], p[1]] for p in group_locations])
+    diff = locations[:, None, :] - targets[None, :, :]
+    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff)).sum(axis=1)
+
+
+def best_neighbor_for_group(
+    view: NodeView,
+    pivot_location: Point,
+    group_locations: Sequence[Point],
+) -> Optional[int]:
+    """GMP's next-hop rule (paper Figure 7, step 4).
+
+    The neighbor nearest to the pivot, among neighbors whose *total*
+    distance to the group's destinations is strictly smaller than the
+    current node's — the strict decrease is what rules out routing loops.
+    """
+    ids = view.neighbor_ids
+    if not ids:
+        return None
+    sums = group_distance_sums(view, group_locations)
+    threshold = total_distance(view.location, group_locations)
+    eligible = np.flatnonzero(sums < threshold - PROGRESS_EPSILON)
+    if eligible.size == 0:
+        return None
+    locations = view.neighbor_location_array()[eligible]
+    deltas = locations - np.asarray([pivot_location[0], pivot_location[1]])
+    pivot_dists = np.einsum("ij,ij->i", deltas, deltas)
+    return ids[int(eligible[int(np.argmin(pivot_dists))])]

@@ -1,0 +1,120 @@
+"""Location-guided tree protocols LGS and LGK [Chen & Nahrstedt 2002].
+
+LGS approximates the multicast tree with the Euclidean **MST of the current
+node and the destinations** — no other geographic points are considered,
+which is the restriction GMP lifts.  Crucially (and this is the behaviour
+the GMP paper dissects in Section 5.2 / Figure 13), destinations are only
+re-partitioned at *subtree roots*, which are always actual destinations:
+
+* a splitting node computes the MST over itself and the remaining
+  destinations; each child subtree becomes one packet copy whose
+  **subdestination** is the child (a destination);
+* intermediate nodes forward the copy greedily toward that subdestination
+  without re-splitting — so destinations inside a subtree are visited
+  sequentially, which is what inflates LGS's per-destination hop counts;
+* when the copy reaches its subdestination (delivered en route), the
+  subtree root repeats the process for what remains.
+
+LGS performs **no void recovery**: when greedy forwarding stalls, the
+copy's remaining deliveries fail (hence LGS's dominant failure counts in
+the paper's Figure 15).
+
+LGK is the companion k-ary construction from the same paper, included as an
+extension: the k destinations nearest the splitting node become subtree
+roots and every remaining destination joins its closest root.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.geometry import distance
+from repro.packets import Destination, MulticastPacket
+from repro.routing.base import ForwardDecision, NodeView, RoutingProtocol
+from repro.routing.greedy import greedy_next_hop
+from repro.steiner.mst import euclidean_mst
+
+
+class LGSProtocol(RoutingProtocol):
+    """Location-guided Steiner (MST-based) multicast."""
+
+    name = "LGS"
+
+    def handle(
+        self, view: NodeView, packet: MulticastPacket
+    ) -> List[ForwardDecision]:
+        target = packet.subdestination
+        if target is not None and target.node_id != view.node_id:
+            # Mid-subtree: keep unicasting toward the pinned subtree root.
+            next_hop = greedy_next_hop(view, target.location)
+            if next_hop is None:
+                return []  # Void with no recovery: this copy is lost.
+            return [ForwardDecision(next_hop, packet)]
+        # At the source or at a subtree root: (re-)partition via the MST.
+        dest_by_ref: Dict[int, Destination] = {
+            d.node_id: d for d in packet.destinations
+        }
+        tree = euclidean_mst(
+            view.location, [(d.node_id, d.location) for d in packet.destinations]
+        )
+        decisions: List[ForwardDecision] = []
+        for child_vid in tree.pivots():
+            child = tree.vertex(child_vid)
+            group = [dest_by_ref[t.ref] for t in tree.terminals_under(child_vid)]
+            root = dest_by_ref[child.ref]
+            next_hop = greedy_next_hop(view, root.location)
+            if next_hop is None:
+                continue  # LGS assumes a next hop exists; the group is lost.
+            decisions.append(
+                ForwardDecision(
+                    next_hop, packet.with_destinations(group, subdestination=root)
+                )
+            )
+        return decisions
+
+
+class LGKProtocol(RoutingProtocol):
+    """Location-guided k-ary tree multicast (extension baseline)."""
+
+    def __init__(self, fanout: int = 2) -> None:
+        if fanout < 1:
+            raise ValueError(f"fanout must be at least 1, got {fanout}")
+        self.fanout = fanout
+        self.name = f"LGK{fanout}"
+
+    def handle(
+        self, view: NodeView, packet: MulticastPacket
+    ) -> List[ForwardDecision]:
+        target = packet.subdestination
+        if target is not None and target.node_id != view.node_id:
+            next_hop = greedy_next_hop(view, target.location)
+            if next_hop is None:
+                return []
+            return [ForwardDecision(next_hop, packet)]
+        destinations = list(packet.destinations)
+        # The k destinations nearest the splitting node root the subtrees.
+        roots = sorted(
+            destinations, key=lambda d: distance(view.location, d.location)
+        )[: self.fanout]
+        groups: Dict[int, List[Destination]] = {r.node_id: [r] for r in roots}
+        for dest in destinations:
+            if any(dest.node_id == r.node_id for r in roots):
+                continue
+            closest_root = min(
+                roots, key=lambda r: distance(r.location, dest.location)
+            )
+            groups[closest_root.node_id].append(dest)
+        decisions: List[ForwardDecision] = []
+        for root in roots:
+            next_hop = greedy_next_hop(view, root.location)
+            if next_hop is None:
+                continue  # Same void behaviour as LGS: the group is lost.
+            decisions.append(
+                ForwardDecision(
+                    next_hop,
+                    packet.with_destinations(
+                        groups[root.node_id], subdestination=root
+                    ),
+                )
+            )
+        return decisions

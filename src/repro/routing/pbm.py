@@ -1,0 +1,264 @@
+"""PBM: Position-Based Multicast [Mauve et al., MOBIHOC 2003 poster].
+
+At each hop PBM chooses a subset ``W`` of its neighbors minimizing
+
+    f(W) = lambda * |W| / |N|
+         + (1 - lambda) * (sum_z min_{w in W} d(w, z)) / (sum_z d(x, z))
+
+— a tradeoff (weighted by ``lambda``) between bandwidth usage (how many
+copies are transmitted) and multicast progress (remaining total distance).
+Each destination is then assigned to the closest member of ``W``.
+
+Exact PBM enumerates *every* subset of the neighborhood, which the GMP paper
+itself flags as exponential and impractical (Section 4.2); at the paper's
+density (~70 neighbors) it is infeasible outright.  As documented in
+DESIGN.md we restrict the search to a *candidate pool* — for each
+destination, its nearest progress-making neighbors — enumerating the pool
+exhaustively when it is small and falling back to a greedy removal descent
+from the per-destination-best subset when it is large.  Only subsets giving
+strict progress for every assigned destination are admissible, which is
+what rules out forwarding loops.
+
+Destinations with no progress-making neighbor at all are *void*; PBM places
+all of them into a single perimeter-mode group (the GMP paper, Section 5.4:
+"PBM will group all the void destinations and always mark the packet to be
+in perimeter mode for these destinations" — contrast GMP's Figure 10, which
+may instead absorb them into routable groups).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.packets import Destination, MulticastPacket
+from repro.routing.base import ForwardDecision, NodeView, RoutingProtocol
+from repro.routing.greedy import PROGRESS_EPSILON, total_distance
+from repro.routing.perimeter import enter_perimeter, perimeter_next_hop
+
+_PERIMETER_EXITS = ("closer", "eager")
+
+
+class PBMProtocol(RoutingProtocol):
+    """Position-based multicast with the lambda progress/bandwidth tradeoff."""
+
+    #: PBM's own objective prices bandwidth as lambda * |W| / |N| — the cost
+    #: of a forwarding step scales with the number of selected neighbors,
+    #: i.e. one transmission per subset member, not one shared broadcast.
+    aggregates_copies = False
+
+    def __init__(
+        self,
+        lam: float = 0.3,
+        candidates_per_destination: int = 2,
+        exact_pool_limit: int = 10,
+        perimeter_exit: str = "closer",
+    ) -> None:
+        """Configure the protocol.
+
+        Args:
+            lam: The paper's tradeoff parameter (0 favours per-destination
+                progress, larger values favour fewer transmissions; the GMP
+                paper sweeps 0..0.6 and keeps the per-task best).
+            candidates_per_destination: How many nearest progress-making
+                neighbors per destination seed the candidate pool.
+            exact_pool_limit: Pool size up to which all ``2^p - 1`` subsets
+                are scored exactly; beyond it a greedy removal descent from
+                the per-destination-best subset is used.
+            perimeter_exit: ``"closer"`` (GPSR rule) or ``"eager"``.
+        """
+        if not 0.0 <= lam <= 1.0:
+            raise ValueError(f"lambda must be in [0, 1], got {lam}")
+        if candidates_per_destination < 1:
+            raise ValueError("need at least one candidate per destination")
+        if exact_pool_limit < 1 or exact_pool_limit > 20:
+            raise ValueError("exact pool limit must be in [1, 20]")
+        if perimeter_exit not in _PERIMETER_EXITS:
+            raise ValueError(f"unknown perimeter exit rule {perimeter_exit!r}")
+        self.lam = lam
+        self.candidates_per_destination = candidates_per_destination
+        self.exact_pool_limit = exact_pool_limit
+        self.perimeter_exit = perimeter_exit
+        self.name = f"PBM[l={lam:g}]"
+
+    # ------------------------------------------------------------------
+    # RoutingProtocol interface
+    # ------------------------------------------------------------------
+
+    def handle(
+        self, view: NodeView, packet: MulticastPacket
+    ) -> List[ForwardDecision]:
+        if packet.perimeter is None:
+            return self._handle_greedy(view, packet)
+        return self._handle_perimeter(view, packet)
+
+    # ------------------------------------------------------------------
+    # Greedy subset selection
+    # ------------------------------------------------------------------
+
+    def _handle_greedy(
+        self, view: NodeView, packet: MulticastPacket
+    ) -> List[ForwardDecision]:
+        decisions, void_group = self._route_by_subset(view, packet)
+        if void_group:
+            decisions.extend(self._start_perimeter(view, packet, void_group))
+        return decisions
+
+    def _route_by_subset(
+        self, view: NodeView, packet: MulticastPacket
+    ) -> Tuple[List[ForwardDecision], List[Destination]]:
+        """Select the forwarding subset; returns (decisions, void dests)."""
+        destinations = list(packet.destinations)
+        neighbor_ids = view.neighbor_ids
+        if not neighbor_ids:
+            return [], destinations
+        neighbor_locs = view.neighbor_location_array()
+        dest_locs = np.asarray([[d.location[0], d.location[1]] for d in destinations])
+        own = np.asarray([view.location[0], view.location[1]])
+        # dist[i, z] = d(neighbor_i, dest_z); own_dist[z] = d(x, dest_z).
+        diff = neighbor_locs[:, None, :] - dest_locs[None, :, :]
+        dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        own_dist = np.sqrt(((dest_locs - own) ** 2).sum(axis=1))
+
+        progress = dist < (own_dist - PROGRESS_EPSILON)[None, :]
+        has_progress = progress.any(axis=0)
+        void_group = [d for d, ok in zip(destinations, has_progress) if not ok]
+        routable_idx = np.flatnonzero(has_progress)
+        if routable_idx.size == 0:
+            return [], void_group
+
+        sub_dist = dist[:, routable_idx]
+        sub_own = own_dist[routable_idx]
+        pool = self._candidate_pool(sub_dist, sub_own)
+        subset = self._select_subset(
+            sub_dist, sub_own, pool, neighbor_count=len(neighbor_ids)
+        )
+
+        # Assign each routable destination to the closest subset member.
+        groups: Dict[int, List[Destination]] = {}
+        for col, dest_idx in enumerate(routable_idx):
+            member = min(subset, key=lambda m: sub_dist[m, col])
+            groups.setdefault(member, []).append(destinations[int(dest_idx)])
+        decisions = [
+            ForwardDecision(
+                neighbor_ids[member], packet.with_destinations(group)
+            )
+            for member, group in sorted(groups.items())
+        ]
+        return decisions, void_group
+
+    def _candidate_pool(
+        self, dist: np.ndarray, own_dist: np.ndarray
+    ) -> List[int]:
+        """Nearest progress-making neighbors per destination, deduplicated."""
+        pool: List[int] = []
+        seen = set()
+        for z in range(dist.shape[1]):
+            order = np.argsort(dist[:, z], kind="stable")
+            taken = 0
+            for i in order:
+                if dist[i, z] >= own_dist[z] - PROGRESS_EPSILON:
+                    break  # Sorted: nothing further makes progress either.
+                if int(i) not in seen:
+                    seen.add(int(i))
+                    pool.append(int(i))
+                taken += 1
+                if taken >= self.candidates_per_destination:
+                    break
+        return pool
+
+    def _select_subset(
+        self,
+        dist: np.ndarray,
+        own_dist: np.ndarray,
+        pool: Sequence[int],
+        neighbor_count: int,
+    ) -> List[int]:
+        """Minimize f(W) over admissible subsets of the candidate pool."""
+        own_total = float(own_dist.sum())
+        lam = self.lam
+
+        def score(member_rows: np.ndarray) -> Tuple[bool, float]:
+            mins = dist[member_rows].min(axis=0)
+            valid = bool((mins < own_dist - PROGRESS_EPSILON).all())
+            f = lam * len(member_rows) / neighbor_count + (1.0 - lam) * (
+                float(mins.sum()) / own_total if own_total > 0 else 0.0
+            )
+            return valid, f
+
+        if len(pool) <= self.exact_pool_limit:
+            best: Optional[List[int]] = None
+            best_score = float("inf")
+            pool_list = list(pool)
+            for mask in range(1, 1 << len(pool_list)):
+                members = [pool_list[i] for i in range(len(pool_list)) if mask >> i & 1]
+                valid, f = score(np.asarray(members))
+                if valid and (
+                    f < best_score - 1e-15
+                    or (abs(f - best_score) <= 1e-15 and best is not None and len(members) < len(best))
+                ):
+                    best, best_score = members, f
+            if best is not None:
+                return best
+            # Fall through to the always-valid per-destination-best subset.
+
+        # Greedy removal descent from the per-destination-best subset.
+        current = sorted({int(np.argmin(dist[:, z])) for z in range(dist.shape[1])})
+        _, current_score = score(np.asarray(current))
+        improved = True
+        while improved and len(current) > 1:
+            improved = False
+            for member in list(current):
+                candidate = [m for m in current if m != member]
+                valid, f = score(np.asarray(candidate))
+                if valid and f < current_score - 1e-15:
+                    current, current_score = candidate, f
+                    improved = True
+                    break
+        return current
+
+    # ------------------------------------------------------------------
+    # Perimeter operation
+    # ------------------------------------------------------------------
+
+    def _start_perimeter(
+        self,
+        view: NodeView,
+        packet: MulticastPacket,
+        void_group: Sequence[Destination],
+    ) -> List[ForwardDecision]:
+        state = enter_perimeter(view, void_group)
+        step = perimeter_next_hop(view, state)
+        if step is None:
+            return []
+        next_hop, new_state = step
+        return [
+            ForwardDecision(next_hop, packet.with_perimeter(void_group, new_state))
+        ]
+
+    def _handle_perimeter(
+        self, view: NodeView, packet: MulticastPacket
+    ) -> List[ForwardDecision]:
+        state = packet.perimeter
+        assert state is not None
+        may_exit = self.perimeter_exit == "eager" or (
+            total_distance(view.location, packet.destination_locations)
+            < state.entry_total_distance - PROGRESS_EPSILON
+        )
+        if may_exit:
+            decisions, void_group = self._route_by_subset(view, packet)
+            if decisions and not void_group:
+                return decisions
+            if decisions and void_group:
+                decisions.extend(self._start_perimeter(view, packet, void_group))
+                return decisions
+        step = perimeter_next_hop(view, state)
+        if step is None:
+            return []
+        next_hop, new_state = step
+        return [
+            ForwardDecision(
+                next_hop, packet.with_perimeter(packet.destinations, new_state)
+            )
+        ]

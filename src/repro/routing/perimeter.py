@@ -1,0 +1,129 @@
+"""Perimeter-mode forwarding (paper Section 4.1).
+
+When no neighbor offers progress toward a group of destinations, the packet
+walks the boundary of the void with the right-hand rule on the locally
+planarized (Gabriel) graph — the classic GPSR recovery [Karp & Kung 2000],
+which the paper adopts with a multi-destination twist: the walk targets the
+*average location* of the group's destinations.
+
+State carried in the packet (:class:`repro.packets.PerimeterState`):
+
+* ``target`` — the average destination location ``D``;
+* ``entry_location`` (``Lp``) and ``entry_total_distance`` — where the
+  packet entered perimeter mode and how far (summed over the group) the
+  destinations were from there; a node may resume greedy operation only
+  once it beats that distance ("a node that is closer to the destination
+  than the point where the packet enters the perimeter mode", Section 4.1);
+* ``came_from`` — previous-hop location, the right-hand-rule reference;
+* ``face_crossing`` (``Lf``) — the best crossing of the walked face with the
+  ``Lp -> D`` segment, governing face changes;
+* ``first_edge`` — re-traversing the first edge of the current face without
+  a face change means the target is unreachable and the packet is dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.geometry import Point, centroid, distance, nearly_equal_points
+from repro.geometry.primitives import ccw_angle_from, segment_intersection
+from repro.packets import Destination, PerimeterState
+from repro.routing.base import NodeView
+from repro.routing.greedy import total_distance
+
+#: Tolerance for "this crossing is strictly closer to the target".
+_FACE_EPSILON = 1e-9
+
+
+class PerimeterUnreachable(Exception):
+    """The walk toured an entire face without progress: target unreachable."""
+
+
+def enter_perimeter(view: NodeView, group: Sequence[Destination]) -> PerimeterState:
+    """Fresh perimeter state for a void group at the current node."""
+    if not group:
+        raise ValueError("cannot enter perimeter mode with no destinations")
+    locations = [d.location for d in group]
+    return PerimeterState(
+        target=centroid(locations),
+        entry_location=view.location,
+        entry_total_distance=total_distance(view.location, locations),
+        came_from=None,
+        face_crossing=None,
+        first_edge=None,
+    )
+
+
+def _reference_point(view: NodeView, state: PerimeterState) -> Point:
+    """Angular reference for the right-hand rule at this node.
+
+    The previous hop when there is one; otherwise (just entered perimeter
+    mode) the line toward the target, as in GPSR's perimeter-mode entry.
+    """
+    if state.came_from is not None:
+        return state.came_from
+    if not nearly_equal_points(state.target, view.location, 1e-12):
+        return state.target
+    # Degenerate: we are exactly at the target point.  Any fixed direction
+    # serves as reference; the walk will be governed by face changes.
+    return Point(view.location[0] + 1.0, view.location[1])
+
+
+def perimeter_next_hop(
+    view: NodeView, state: PerimeterState
+) -> Optional[Tuple[int, PerimeterState]]:
+    """One right-hand-rule step; returns ``(next_hop, advanced_state)``.
+
+    Returns ``None`` when the walk proves the target unreachable (full face
+    toured, or the node has no planar neighbors); the caller drops the
+    packet and the task records a failure — this is the mechanism behind
+    the paper's Figure-15 failure counts.
+    """
+    planar = view.planar_neighbor_ids
+    if not planar:
+        return None
+    here = view.location
+    reference = _reference_point(view, state)
+    ordered = sorted(
+        planar,
+        key=lambda n: ccw_angle_from(here, reference, view.location_of(n)),
+    )
+    face_crossing = (
+        state.face_crossing if state.face_crossing is not None else state.entry_location
+    )
+    best_crossing_dist = distance(face_crossing, state.target)
+    first_edge = state.first_edge
+    changed_face = False
+
+    for neighbor_id in ordered:
+        neighbor_loc = view.location_of(neighbor_id)
+        crossing = segment_intersection(
+            here, neighbor_loc, state.entry_location, state.target
+        )
+        if (
+            crossing is not None
+            and distance(crossing, state.target) < best_crossing_dist - _FACE_EPSILON
+        ):
+            # GPSR face change: do not traverse the crossing edge; note the
+            # crossing and continue the sweep onto the inner face.
+            face_crossing = crossing
+            best_crossing_dist = distance(crossing, state.target)
+            changed_face = True
+            continue
+        edge = (here, neighbor_loc)
+        if (
+            not changed_face
+            and first_edge is not None
+            and nearly_equal_points(edge[0], first_edge[0], 1e-9)
+            and nearly_equal_points(edge[1], first_edge[1], 1e-9)
+        ):
+            # About to re-traverse the first edge of this face: the face has
+            # been toured completely without reaching the target.
+            return None
+        new_state = state.advanced(
+            came_from=here,
+            face_crossing=face_crossing,
+            first_edge=edge if (changed_face or first_edge is None) else first_edge,
+        )
+        return neighbor_id, new_state
+    return None

@@ -1,0 +1,37 @@
+"""Simulation events.
+
+An :class:`Event` binds a firing time to a callback.  Events are totally
+ordered by ``(time, sequence)`` where the sequence number is assigned by the
+scheduler at insertion: simultaneous events therefore fire in the order they
+were scheduled, which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: Virtual time (seconds) at which the event fires.
+        sequence: Tie-breaker assigned by the scheduler; never compare two
+            events from different schedulers.
+        action: Zero-argument callable invoked when the event fires.
+        label: Human-readable tag for tracing and error messages.
+        cancelled: Lazily-deleted flag; cancelled events are skipped when
+            popped instead of being removed from the heap.
+    """
+
+    time: float
+    sequence: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler discards it when popped."""
+        self.cancelled = True

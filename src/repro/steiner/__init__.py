@@ -1,0 +1,46 @@
+"""Steiner-tree machinery: the paper's core contribution plus baselines.
+
+* :mod:`repro.steiner.tree` — the rooted, ordered virtual-tree structure all
+  grouping protocols operate on (child insertion order matters: GMP's void
+  splitting peels off the *last* child).
+* :mod:`repro.steiner.reduction_ratio` — the paper's reduction-ratio measure
+  (Section 3.1).
+* :mod:`repro.steiner.rrstr` — the rrSTR heuristic, basic and
+  radio-range-aware (Sections 3.2–3.3, Figure 3).
+* :mod:`repro.steiner.mst` — Euclidean minimum spanning trees over terminal
+  locations (LGS's grouping structure).
+* :mod:`repro.steiner.kmb` — the Kou–Markowsky–Berman graph Steiner
+  heuristic backing the centralized SMT baseline.
+"""
+
+from repro.steiner.tree import SteinerTree, TreeVertex, VertexKind
+from repro.steiner.reduction_ratio import reduction_ratio, reduction_ratio_point
+from repro.steiner.rrstr import RRStrConfig, rrstr
+from repro.steiner.mst import euclidean_mst
+from repro.steiner.kmb import kmb_steiner_tree
+from repro.steiner.exact import optimal_steiner_length
+from repro.steiner.quality import (
+    StretchStats,
+    TreeQualityReport,
+    compare_with_mst,
+    mean_length_ratio,
+    tree_stretch,
+)
+
+__all__ = [
+    "SteinerTree",
+    "TreeVertex",
+    "VertexKind",
+    "reduction_ratio",
+    "reduction_ratio_point",
+    "RRStrConfig",
+    "rrstr",
+    "euclidean_mst",
+    "kmb_steiner_tree",
+    "optimal_steiner_length",
+    "StretchStats",
+    "TreeQualityReport",
+    "compare_with_mst",
+    "mean_length_ratio",
+    "tree_stretch",
+]

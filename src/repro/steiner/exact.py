@@ -1,0 +1,115 @@
+"""Exact (optimal) Euclidean Steiner trees for tiny instances.
+
+The general problem is NP-hard [Karp 1972], but instances with up to four
+points admit direct solution: a Steiner minimal tree on four points has at
+most two Steiner points, and for each of the three possible pairings the
+optimal full topology can be found by alternating exact 3-point Fermat
+computations (the total length is convex in the Steiner point positions, so
+coordinate descent converges to the global optimum of that topology).
+
+Used as the optimality oracle in tests and quality reports: it bounds how
+far rrSTR can be from optimal on the instances where "optimal" is
+computable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Sequence, Tuple
+
+from repro.geometry import Point, distance
+from repro.geometry.fermat import fermat_point, fermat_total_length
+
+
+def _two_steiner_topology_length(
+    pair_a: Tuple[Point, Point],
+    pair_b: Tuple[Point, Point],
+    max_iterations: int = 200,
+    tolerance: float = 1e-10,
+) -> float:
+    """Optimal length of the full topology (pair_a)-s1-s2-(pair_b)."""
+    a1, a2 = pair_a
+    b1, b2 = pair_b
+    s1 = Point((a1[0] + a2[0]) / 2.0, (a1[1] + a2[1]) / 2.0)
+    s2 = Point((b1[0] + b2[0]) / 2.0, (b1[1] + b2[1]) / 2.0)
+    previous = float("inf")
+    for _ in range(max_iterations):
+        s1 = fermat_point(a1, a2, s2)
+        s2 = fermat_point(b1, b2, s1)
+        length = (
+            distance(s1, a1)
+            + distance(s1, a2)
+            + distance(s1, s2)
+            + distance(s2, b1)
+            + distance(s2, b2)
+        )
+        if previous - length < tolerance:
+            break
+        previous = length
+    return length
+
+
+def _spanning_tree_lengths(points: Sequence[Point]) -> List[float]:
+    """Lengths of all spanning trees over the points (no Steiner points)."""
+    n = len(points)
+    edges = [
+        (distance(points[i], points[j]), i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+    ]
+    lengths = []
+    # All labelled spanning trees of up to 4 vertices: choose n-1 edges that
+    # connect everything (tiny n, brute force is fine).
+    for subset in itertools.combinations(edges, n - 1):
+        parent = list(range(n))
+
+        def find(x):
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        ok = True
+        for _, i, j in subset:
+            ri, rj = find(i), find(j)
+            if ri == rj:
+                ok = False
+                break
+            parent[ri] = rj
+        if ok:
+            lengths.append(sum(w for w, _, _ in subset))
+    return lengths
+
+
+def optimal_steiner_length(points: Sequence[Point]) -> float:
+    """Length of the Euclidean Steiner minimal tree over 1–4 points."""
+    unique = list(dict.fromkeys((p[0], p[1]) for p in points))
+    pts = [Point(x, y) for x, y in unique]
+    if len(pts) <= 1:
+        return 0.0
+    if len(pts) == 2:
+        return distance(pts[0], pts[1])
+    if len(pts) == 3:
+        return fermat_total_length(pts[0], pts[1], pts[2])
+    if len(pts) != 4:
+        raise ValueError(
+            f"exact Steiner trees are only computed for up to 4 points, got {len(pts)}"
+        )
+    candidates = _spanning_tree_lengths(pts)
+    # One Steiner point joining three terminals, fourth attached directly
+    # to its nearest other terminal or to the Steiner point — these arise
+    # as degenerate limits of the full topologies below, but including the
+    # explicit single-Fermat stars costs nothing and guards convergence.
+    for trio in itertools.combinations(range(4), 3):
+        (i, j, k), (l,) = trio, tuple(set(range(4)) - set(trio))
+        t = fermat_point(pts[i], pts[j], pts[k])
+        star = sum(distance(t, pts[m]) for m in (i, j, k))
+        attach = min(distance(pts[l], pts[m]) for m in (i, j, k))
+        candidates.append(star + min(attach, distance(pts[l], t)))
+    # Full topologies with two Steiner points: three pairings.
+    pairings = [((0, 1), (2, 3)), ((0, 2), (1, 3)), ((0, 3), (1, 2))]
+    for (i, j), (k, l) in pairings:
+        candidates.append(
+            _two_steiner_topology_length((pts[i], pts[j]), (pts[k], pts[l]))
+        )
+    return min(candidates)

@@ -1,0 +1,134 @@
+"""Kou–Markowsky–Berman (KMB) graph Steiner heuristic.
+
+The paper's centralized SMT baseline [Kou et al. 1981] assumes the source
+knows the entire topology and computes a near-optimal Steiner tree of the
+unit-disk graph connecting itself and all destinations.  KMB is the classic
+2(1 - 1/L)-approximation:
+
+1. metric closure over the terminals (all-pairs shortest paths),
+2. MST of the closure,
+3. expand closure edges back into shortest paths,
+4. MST of the expanded subgraph,
+5. prune non-terminal leaves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple, Union
+
+import networkx as nx
+
+WeightSpec = Union[str, Callable]
+
+
+def _edge_weight(graph: nx.Graph, u: int, v: int, weight: WeightSpec) -> float:
+    """Resolve one edge's weight under the given specification."""
+    data = graph[u][v]
+    if callable(weight):
+        return float(weight(u, v, data))
+    return float(data.get(weight, 1.0))
+
+
+def kmb_steiner_tree(
+    graph: nx.Graph,
+    terminals: Sequence[int],
+    weight: WeightSpec = "weight",
+) -> nx.Graph:
+    """Steiner tree of ``graph`` spanning ``terminals`` via KMB.
+
+    Args:
+        graph: Weighted undirected graph (weight attribute ``weight``).
+        terminals: Node ids to span; must all be present and mutually
+            reachable in ``graph``.
+        weight: Edge-weight specification forwarded to networkx — an edge
+            attribute name or an ``f(u, v, data)`` callable.  Pass
+            ``lambda u, v, d: 1.0`` to minimize *hop counts* instead of
+            meters (the metric the paper's figures report).
+
+    Returns:
+        A tree subgraph of ``graph`` containing every terminal.
+
+    Raises:
+        ValueError: If terminals are missing or mutually unreachable.
+    """
+    terminal_list = list(dict.fromkeys(terminals))
+    if not terminal_list:
+        raise ValueError("KMB needs at least one terminal")
+    for t in terminal_list:
+        if t not in graph:
+            raise ValueError(f"terminal {t} is not a node of the graph")
+    if len(terminal_list) == 1:
+        tree = nx.Graph()
+        tree.add_node(terminal_list[0])
+        return tree
+
+    # Step 1: metric closure restricted to the terminals.
+    distances: Dict[int, Dict[int, float]] = {}
+    paths: Dict[int, Dict[int, List[int]]] = {}
+    for t in terminal_list:
+        dist, path = nx.single_source_dijkstra(graph, t, weight=weight)
+        distances[t] = dist
+        paths[t] = path
+
+    closure = nx.Graph()
+    for i, a in enumerate(terminal_list):
+        for b in terminal_list[i + 1 :]:
+            if b not in distances[a]:
+                raise ValueError(f"terminals {a} and {b} are not connected")
+            closure.add_edge(a, b, weight=distances[a][b])
+
+    # Step 2: MST of the closure.
+    closure_mst = nx.minimum_spanning_tree(closure, weight="weight")
+
+    # Step 3: expand closure edges into shortest paths of the base graph.
+    expanded = nx.Graph()
+    for a, b in closure_mst.edges():
+        path = paths[a][b]
+        for u, v in zip(path[:-1], path[1:]):
+            expanded.add_edge(u, v, weight=_edge_weight(graph, u, v, weight))
+
+    # Step 4: MST of the expanded subgraph.
+    expanded_mst = nx.minimum_spanning_tree(expanded, weight="weight")
+
+    # Step 5: prune non-terminal leaves repeatedly.
+    terminal_set = set(terminal_list)
+    pruned = expanded_mst.copy()
+    while True:
+        leaves = [
+            n for n in pruned.nodes() if pruned.degree(n) <= 1 and n not in terminal_set
+        ]
+        if not leaves:
+            break
+        pruned.remove_nodes_from(leaves)
+    return pruned
+
+
+def tree_as_routing_schedule(
+    tree: nx.Graph, root: int
+) -> Dict[int, Tuple[int, ...]]:
+    """Orient a tree away from ``root``: node id -> ordered child ids.
+
+    This is the forwarding table SMT embeds into its packets (dynamic source
+    multicast style): each on-tree node forwards one copy per child.
+    """
+    if root not in tree:
+        raise ValueError(f"root {root} is not in the tree")
+    schedule: Dict[int, Tuple[int, ...]] = {}
+    visited = {root}
+    frontier = [root]
+    while frontier:
+        current = frontier.pop()
+        children = tuple(sorted(n for n in tree.neighbors(current) if n not in visited))
+        schedule[current] = children
+        for child in children:
+            visited.add(child)
+            frontier.append(child)
+    if len(visited) != tree.number_of_nodes():
+        raise ValueError("tree is disconnected from the root")
+    return schedule
+
+
+def tree_depths(tree: nx.Graph, root: int, targets: Iterable[int]) -> Dict[int, int]:
+    """Hop depth of each target from ``root`` along the tree."""
+    depths = nx.single_source_shortest_path_length(tree, root)
+    return {t: depths[t] for t in targets}

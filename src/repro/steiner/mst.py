@@ -1,0 +1,48 @@
+"""Euclidean minimum spanning trees over terminal locations.
+
+LGS (Chen & Nahrstedt's location-guided Steiner tree) approximates the
+Steiner tree by the MST of the current node and the remaining destinations —
+no geographic points other than actual terminals are considered, which is
+precisely the restriction the GMP paper lifts.  Prim's algorithm rooted at
+the source keeps the output a rooted, ordered :class:`SteinerTree` so LGS
+and GMP share all downstream grouping code.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.geometry import Point, distance
+from repro.steiner.tree import SteinerTree
+
+
+def euclidean_mst(
+    source_location: Point,
+    destinations: Sequence[Tuple[int, Point]],
+) -> SteinerTree:
+    """Prim MST over ``{source} ∪ destinations``, rooted at the source.
+
+    Ties are broken toward the lower vertex index, making the construction
+    deterministic for identical inputs.
+    """
+    tree = SteinerTree(source_location)
+    if not destinations:
+        return tree
+    vids = [tree.add_terminal(loc, ref) for ref, loc in destinations]
+
+    in_tree = {0}
+    # best[vid] = (distance to tree, attachment vid)
+    best = {
+        vid: (distance(source_location, tree.vertex(vid).location), 0) for vid in vids
+    }
+    while best:
+        next_vid = min(best, key=lambda vid: (best[vid][0], vid))
+        dist_to_tree, attach_to = best.pop(next_vid)
+        tree.attach(attach_to, next_vid)
+        in_tree.add(next_vid)
+        next_loc = tree.vertex(next_vid).location
+        for vid in best:
+            candidate = distance(next_loc, tree.vertex(vid).location)
+            if candidate < best[vid][0]:
+                best[vid] = (candidate, next_vid)
+    return tree

@@ -1,0 +1,118 @@
+"""Tree-quality analytics: length ratios and shallow-light stretch.
+
+Quantifies the two properties the paper's figures trade off:
+
+* **length** (drives Figure 11 / 14): total Euclidean length, usually
+  reported relative to the destination MST that LGS uses;
+* **stretch** (drives Figure 12): per-terminal ratio of tree-path length to
+  straight-line distance from the root — a proxy for per-destination hops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry import Point, distance
+from repro.steiner.mst import euclidean_mst
+from repro.steiner.rrstr import RRStrConfig, rrstr
+from repro.steiner.tree import SteinerTree
+
+
+@dataclass(frozen=True)
+class StretchStats:
+    """Per-terminal root-path stretch of a rooted tree."""
+
+    mean: float
+    maximum: float
+    terminal_count: int
+
+
+@dataclass(frozen=True)
+class TreeQualityReport:
+    """Side-by-side quality of an rrSTR tree and the destination MST."""
+
+    rrstr_length: float
+    mst_length: float
+    rrstr_stretch: StretchStats
+    mst_stretch: StretchStats
+    virtual_vertex_count: int
+
+    @property
+    def length_ratio(self) -> float:
+        """rrSTR length relative to the MST (< 1 means shorter)."""
+        if self.mst_length == 0.0:
+            return 1.0
+        return self.rrstr_length / self.mst_length
+
+
+def root_path_length(tree: SteinerTree, vid: int) -> float:
+    """Euclidean length of the tree path from the root to ``vid``."""
+    length = 0.0
+    current = vid
+    while current != 0:
+        parent = tree.parent_of(current)
+        if parent is None:
+            raise ValueError(f"vertex {vid} is not attached to the root")
+        length += distance(
+            tree.vertex(parent).location, tree.vertex(current).location
+        )
+        current = parent
+    return length
+
+
+def tree_stretch(tree: SteinerTree) -> StretchStats:
+    """Stretch statistics over the tree's terminals.
+
+    Terminals collocated with the root are skipped (stretch undefined).
+    """
+    root_location = tree.root.location
+    stretches: List[float] = []
+    for vertex in tree.vertices():
+        if not vertex.is_terminal:
+            continue
+        radial = distance(root_location, vertex.location)
+        if radial <= 1e-12:
+            continue
+        stretches.append(root_path_length(tree, vertex.vid) / radial)
+    if not stretches:
+        return StretchStats(mean=1.0, maximum=1.0, terminal_count=0)
+    return StretchStats(
+        mean=sum(stretches) / len(stretches),
+        maximum=max(stretches),
+        terminal_count=len(stretches),
+    )
+
+
+def compare_with_mst(
+    source: Point,
+    destinations: Sequence[Tuple[int, Point]],
+    radio_range: float,
+    config: Optional[RRStrConfig] = None,
+) -> TreeQualityReport:
+    """Build both trees for one instance and report their quality."""
+    tree = rrstr(source, destinations, radio_range, config)
+    mst = euclidean_mst(source, destinations)
+    return TreeQualityReport(
+        rrstr_length=tree.total_length(),
+        mst_length=mst.total_length(),
+        rrstr_stretch=tree_stretch(tree),
+        mst_stretch=tree_stretch(mst),
+        virtual_vertex_count=sum(1 for v in tree.vertices() if v.is_virtual),
+    )
+
+
+def mean_length_ratio(
+    instances: Sequence[Tuple[Point, Sequence[Tuple[int, Point]]]],
+    radio_range: float,
+    config: Optional[RRStrConfig] = None,
+) -> float:
+    """Average rrSTR/MST length ratio over a batch of instances."""
+    if not instances:
+        raise ValueError("need at least one instance")
+    total = 0.0
+    for source, destinations in instances:
+        total += compare_with_mst(
+            source, destinations, radio_range, config
+        ).length_ratio
+    return total / len(instances)

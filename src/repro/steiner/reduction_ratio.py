@@ -1,0 +1,42 @@
+"""The reduction-ratio measure (paper Section 3.1).
+
+For a source ``s`` and a destination pair ``(u, v)``::
+
+    RR(s, u, v) = 1 - (d(s,t) + d(t,u) + d(t,v)) / (d(s,u) + d(s,v))
+
+where ``t`` is the exact Steiner (Fermat) point of ``{s, u, v}``.  RR is the
+relative saving of the optimal 3-terminal Steiner tree over two independent
+source-to-destination segments; the paper proves (statement only) that
+
+* ``RR < 1/2`` always,
+* among equidistant pairs, RR grows with distance from the source,
+* RR grows as the angle subtended at the source shrinks.
+
+Our property-based tests check all three.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.geometry import Point, distance
+from repro.geometry.fermat import fermat_point
+
+
+def reduction_ratio_point(s: Point, u: Point, v: Point) -> Tuple[float, Point]:
+    """Reduction ratio of pair ``(u, v)`` w.r.t. source ``s`` and its Steiner point.
+
+    Degenerate inputs collapse gracefully: if both destinations coincide
+    with the source the ratio is defined as 0 (no saving possible).
+    """
+    t = fermat_point(s, u, v)
+    direct = distance(s, u) + distance(s, v)
+    if direct == 0.0:
+        return 0.0, t
+    steiner_length = distance(s, t) + distance(t, u) + distance(t, v)
+    return 1.0 - steiner_length / direct, t
+
+
+def reduction_ratio(s: Point, u: Point, v: Point) -> float:
+    """Just the ratio; see :func:`reduction_ratio_point`."""
+    return reduction_ratio_point(s, u, v)[0]

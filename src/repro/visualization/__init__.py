@@ -1,0 +1,9 @@
+"""Terminal (ASCII) rendering of deployments, trees and routes.
+
+No plotting dependencies: everything renders to a character grid, which is
+what the examples print and what documentation snippets embed.
+"""
+
+from repro.visualization.ascii_art import AsciiCanvas, render_network, render_tree
+
+__all__ = ["AsciiCanvas", "render_network", "render_tree"]

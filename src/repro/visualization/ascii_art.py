@@ -1,0 +1,151 @@
+"""ASCII canvases for geographic scenes."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.geometry import Point
+from repro.network.graph import WirelessNetwork
+from repro.steiner.tree import SteinerTree
+
+
+class AsciiCanvas:
+    """A character grid mapped onto a rectangular world region.
+
+    The y axis points up (world convention), so row 0 of the rendered text
+    is the top of the field.
+    """
+
+    def __init__(
+        self,
+        width_chars: int,
+        height_chars: int,
+        world_min: Point,
+        world_max: Point,
+    ) -> None:
+        if width_chars < 2 or height_chars < 2:
+            raise ValueError("canvas needs at least 2x2 characters")
+        if world_max[0] <= world_min[0] or world_max[1] <= world_min[1]:
+            raise ValueError("world region must have positive extent")
+        self.width_chars = width_chars
+        self.height_chars = height_chars
+        self.world_min = world_min
+        self.world_max = world_max
+        self._grid = [[" "] * width_chars for _ in range(height_chars)]
+
+    def _to_cell(self, p: Point) -> Tuple[int, int]:
+        fx = (p[0] - self.world_min[0]) / (self.world_max[0] - self.world_min[0])
+        fy = (p[1] - self.world_min[1]) / (self.world_max[1] - self.world_min[1])
+        col = min(self.width_chars - 1, max(0, int(fx * (self.width_chars - 1))))
+        row = min(self.height_chars - 1, max(0, int((1.0 - fy) * (self.height_chars - 1))))
+        return row, col
+
+    def plot(self, p: Point, symbol: str) -> None:
+        """Place a single character at the world point ``p``."""
+        if len(symbol) != 1:
+            raise ValueError(f"plot needs a single character, got {symbol!r}")
+        row, col = self._to_cell(p)
+        self._grid[row][col] = symbol
+
+    def line(self, a: Point, b: Point, symbol: str = ".") -> None:
+        """Draw a straight segment between two world points."""
+        steps = max(self.width_chars, self.height_chars) * 2
+        for i in range(steps + 1):
+            t = i / steps
+            p = Point(a[0] + (b[0] - a[0]) * t, a[1] + (b[1] - a[1]) * t)
+            row, col = self._to_cell(p)
+            if self._grid[row][col] == " ":
+                self._grid[row][col] = symbol
+
+    def render(self) -> str:
+        """The canvas as a newline-joined string (with a border)."""
+        top = "+" + "-" * self.width_chars + "+"
+        rows = ["|" + "".join(row) + "|" for row in self._grid]
+        return "\n".join([top] + rows + [top])
+
+
+def render_network(
+    network: WirelessNetwork,
+    width_chars: int = 72,
+    height_chars: int = 24,
+    highlights: Optional[Dict[int, str]] = None,
+    show_links: bool = False,
+) -> str:
+    """Render a deployment; ``highlights`` maps node id -> symbol.
+
+    Plain nodes render as ``·``-style dots; pass ``show_links=True`` to
+    sketch the unit-disk edges (dense networks will saturate the canvas).
+    """
+    xs = network.locations[:, 0]
+    ys = network.locations[:, 1]
+    canvas = AsciiCanvas(
+        width_chars,
+        height_chars,
+        Point(float(xs.min()), float(ys.min())),
+        Point(float(xs.max()), float(ys.max())),
+    )
+    if show_links:
+        for node in network.nodes:
+            for other in network.neighbors_of(node.node_id):
+                if other > node.node_id:
+                    canvas.line(node.location, network.location_of(other), ".")
+    for node in network.nodes:
+        canvas.plot(node.location, "o")
+    for node_id, symbol in (highlights or {}).items():
+        canvas.plot(network.location_of(node_id), symbol)
+    return canvas.render()
+
+
+def render_tree(
+    tree: SteinerTree,
+    width_chars: int = 72,
+    height_chars: int = 24,
+    extra_points: Iterable[Tuple[Point, str]] = (),
+) -> str:
+    """Render a virtual multicast tree: S = source, D = destinations,
+    * = virtual (Steiner) vertices, dotted segments = tree edges."""
+    locations = [v.location for v in tree.vertices()]
+    xs = [p[0] for p in locations] + [p[0] for p, _ in extra_points]
+    ys = [p[1] for p in locations] + [p[1] for p, _ in extra_points]
+    pad_x = max(1.0, (max(xs) - min(xs)) * 0.05)
+    pad_y = max(1.0, (max(ys) - min(ys)) * 0.05)
+    canvas = AsciiCanvas(
+        width_chars,
+        height_chars,
+        Point(min(xs) - pad_x, min(ys) - pad_y),
+        Point(max(xs) + pad_x, max(ys) + pad_y),
+    )
+    for parent, child in tree.edges():
+        canvas.line(tree.vertex(parent).location, tree.vertex(child).location, ".")
+    for vertex in tree.vertices():
+        if vertex.vid == 0:
+            canvas.plot(vertex.location, "S")
+        elif vertex.is_virtual:
+            canvas.plot(vertex.location, "*")
+        else:
+            canvas.plot(vertex.location, "D")
+    for point, symbol in extra_points:
+        canvas.plot(point, symbol)
+    return canvas.render()
+
+
+def describe_tree(tree: SteinerTree) -> str:
+    """One-line-per-edge textual dump of a virtual multicast tree."""
+    labels = {}
+    for vertex in tree.vertices():
+        if vertex.vid == 0:
+            labels[vertex.vid] = "S"
+        elif vertex.is_virtual:
+            labels[vertex.vid] = f"w{vertex.vid}"
+        else:
+            labels[vertex.vid] = f"d{vertex.ref}"
+    lines = []
+    for parent, child in sorted(tree.edges()):
+        p, c = tree.vertex(parent), tree.vertex(child)
+        from repro.geometry import distance
+
+        lines.append(
+            f"{labels[parent]:>4} -> {labels[child]:<4}  {distance(p.location, c.location):7.1f} m"
+        )
+    lines.append(f"total length: {tree.total_length():.1f} m")
+    return "\n".join(lines)

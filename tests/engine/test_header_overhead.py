@@ -1,0 +1,50 @@
+"""Tests for the header-overhead accounting option."""
+
+import pytest
+
+from repro.engine import EngineConfig, run_task
+from repro.routing.gmp import GMPProtocol
+from repro.routing.grd import GRDProtocol
+from tests.conftest import make_line_network
+
+
+class TestHeaderOverhead:
+    def test_off_by_default_matches_table1(self):
+        net = make_line_network(4, spacing=100.0)
+        result = run_task(net, GMPProtocol(), 0, [3])
+        # 3 hops, flat 128-byte frames: airtime 1.024 ms each.
+        t = 1.024e-3
+        listeners = [1, 2, 2]  # degree of nodes 0, 1, 2 on the line.
+        expected = sum(t * (1.3 + n * 0.9) for n in listeners)
+        assert result.energy_joules == pytest.approx(expected)
+
+    def test_overhead_increases_energy_and_latency(self):
+        net = make_line_network(5, spacing=100.0)
+        base = run_task(net, GMPProtocol(), 0, [3, 4])
+        heavy = run_task(
+            net, GMPProtocol(), 0, [3, 4],
+            config=EngineConfig(charge_header_overhead=True),
+        )
+        assert heavy.energy_joules > base.energy_joules
+        assert heavy.duration_s > base.duration_s
+        # Same routing decisions either way.
+        assert heavy.delivered_hops == base.delivered_hops
+
+    def test_longer_destination_lists_cost_more(self):
+        net = make_line_network(8, spacing=100.0)
+        config = EngineConfig(charge_header_overhead=True)
+        small = run_task(net, GMPProtocol(), 0, [7], config=config)
+        big = run_task(net, GMPProtocol(), 0, [4, 5, 6, 7], config=config)
+        # More embedded destinations -> bigger headers -> more J per meter.
+        assert big.energy_joules / big.transmissions > (
+            small.energy_joules / small.transmissions
+        )
+
+    def test_per_copy_protocols_supported(self):
+        net = make_line_network(4, spacing=100.0)
+        result = run_task(
+            net, GRDProtocol(), 0, [2, 3],
+            config=EngineConfig(charge_header_overhead=True),
+        )
+        assert result.success
+        assert result.energy_joules > 0

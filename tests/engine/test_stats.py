@@ -1,0 +1,66 @@
+"""Tests for task statistics and aggregation."""
+
+import pytest
+
+from repro.engine.stats import TaskResult, summarize_results
+
+
+def result(delivered, dests=(1, 2, 3), tx=10, energy=1.0):
+    return TaskResult(
+        task_id=0,
+        protocol="X",
+        source_id=0,
+        destination_ids=tuple(dests),
+        delivered_hops=delivered,
+        transmissions=tx,
+        energy_joules=energy,
+        duration_s=0.01,
+    )
+
+
+class TestTaskResult:
+    def test_success_requires_all_delivered(self):
+        assert result({1: 2, 2: 3, 3: 4}).success
+        assert not result({1: 2, 2: 3}).success
+
+    def test_failed_destinations(self):
+        assert result({1: 2}).failed_destinations == (2, 3)
+
+    def test_per_destination_hops(self):
+        r = result({1: 2, 3: 6})
+        assert r.per_destination_hops == [2, 6]
+        assert r.average_per_destination_hops == 4.0
+
+    def test_average_with_nothing_delivered(self):
+        assert result({}).average_per_destination_hops == 0.0
+
+    def test_total_hops_alias(self):
+        assert result({}, tx=17).total_hops == 17
+
+
+class TestSummarize:
+    def test_empty(self):
+        summary = summarize_results([])
+        assert summary.task_count == 0
+        assert summary.delivery_ratio == 1.0
+
+    def test_means(self):
+        results = [
+            result({1: 2, 2: 2, 3: 2}, tx=10, energy=1.0),
+            result({1: 4, 2: 4, 3: 4}, tx=20, energy=3.0),
+        ]
+        summary = summarize_results(results)
+        assert summary.task_count == 2
+        assert summary.failure_count == 0
+        assert summary.mean_total_hops == 15.0
+        assert summary.mean_energy_joules == 2.0
+        assert summary.mean_per_destination_hops == pytest.approx(3.0)
+
+    def test_failures_and_delivery_ratio(self):
+        results = [
+            result({1: 2, 2: 2, 3: 2}),
+            result({1: 2}),  # 2 of 3 missing.
+        ]
+        summary = summarize_results(results)
+        assert summary.failure_count == 1
+        assert summary.delivery_ratio == pytest.approx(4 / 6)

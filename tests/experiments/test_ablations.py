@@ -1,0 +1,56 @@
+"""Tests for the programmatic ablation harness."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablation_next_hop_rule,
+    ablation_radio_range,
+    ablation_refinement,
+    ablation_rrstr_rule,
+    ablation_transmission_model,
+    render_ablations,
+    run_all_ablations,
+)
+from repro.experiments.config import PaperConfig
+
+SMALL = PaperConfig(node_count=300)
+
+
+class TestIndividualAblations:
+    def test_radio_range(self):
+        outcome = ablation_radio_range(SMALL, group_size=8, task_count=6)
+        assert outcome.metrics["gmp_transmissions"] < outcome.metrics[
+            "gmpnr_transmissions"
+        ]
+        assert outcome.metrics["saving_fraction"] > 0
+
+    def test_next_hop_rule(self):
+        outcome = ablation_next_hop_rule(SMALL, group_size=8, task_count=6)
+        assert outcome.metrics["pivot_transmissions"] > 0
+        assert outcome.metrics["closest_transmissions"] > 0
+
+    def test_rrstr_rule(self):
+        outcome = ablation_rrstr_rule(instance_count=20, group_size=8)
+        assert outcome.metrics["ratio"] <= 1.05
+
+    def test_refinement(self):
+        outcome = ablation_refinement(instance_count=20, group_size=8)
+        assert outcome.metrics["refined_length"] < outcome.metrics["raw_length"]
+
+    def test_transmission_model(self):
+        outcome = ablation_transmission_model(SMALL, group_size=8, task_count=6)
+        assert (
+            outcome.metrics["unicast_transmissions"]
+            > outcome.metrics["broadcast_transmissions"]
+        )
+        assert outcome.metrics["inflation_fraction"] > 0
+
+
+class TestHarness:
+    def test_run_all_and_render(self):
+        outcomes = run_all_ablations(SMALL)
+        assert len(outcomes) == 5
+        text = render_ablations(outcomes)
+        for outcome in outcomes:
+            assert outcome.name in text
+            assert outcome.conclusion in text

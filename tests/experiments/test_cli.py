@@ -1,0 +1,64 @@
+"""Tests for the command-line harness."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_config_command(self, capsys):
+        assert main(["config"]) == 0
+        out = capsys.readouterr().out
+        assert "Simulation setup" in out
+        assert "150m" in out
+
+    def test_figure11_smoke(self, capsys):
+        assert main(["figure11", "--scale", "smoke", "--nodes", "350", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "figure11" in out
+        assert "GMP savings" in out
+
+    def test_figure15_smoke(self, capsys):
+        assert main(["figure15", "--scale", "smoke", "--nodes", "350", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "failed tasks" in out
+
+    def test_json_export(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        assert (
+            main(
+                [
+                    "figure12",
+                    "--scale",
+                    "smoke",
+                    "--nodes",
+                    "350",
+                    "--quiet",
+                    "--json",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(path.read_text())
+        assert "figure12" in payload
+        assert payload["scale"] == "smoke"
+
+    def test_seed_override_changes_results(self, capsys):
+        main(["figure11", "--scale", "smoke", "--nodes", "350", "--quiet"])
+        base = capsys.readouterr().out
+        main(
+            ["figure11", "--scale", "smoke", "--nodes", "350", "--seed", "99", "--quiet"]
+        )
+        reseeded = capsys.readouterr().out
+        assert base != reseeded
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            main(["figure11", "--scale", "galactic"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure99"])

@@ -1,0 +1,54 @@
+"""Tests for the confidence-interval report and statistics-on-sweep glue."""
+
+import pytest
+
+from repro.experiments.config import PaperConfig, SMOKE_SCALE
+from repro.experiments.figures import run_group_size_sweep
+from repro.experiments.report import render_confidence_table
+from repro.experiments.statistics import paired_comparison, win_matrix
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_group_size_sweep(PaperConfig(node_count=350), SMOKE_SCALE)
+
+
+class TestConfidenceTable:
+    def test_renders_all_protocols(self, sweep):
+        text = render_confidence_table(
+            sweep, lambda r: float(r.transmissions), "total hops"
+        )
+        assert "total hops" in text
+        assert "95% CI" in text
+        for label in sweep.results:
+            assert label in text
+        assert "±" in text
+
+    def test_custom_confidence(self, sweep):
+        text = render_confidence_table(
+            sweep, lambda r: r.energy_joules, "energy", confidence=0.9
+        )
+        assert "90% CI" in text
+
+
+class TestPairedOnSweep:
+    def test_gmp_vs_pbm_paired(self, sweep):
+        k = sweep.scale.group_sizes[-1]
+        gmp = sweep.results["GMP"][k]
+        pbm = sweep.results["PBM"][k]
+        cmp = paired_comparison(
+            gmp, pbm, lambda r: float(r.transmissions), "GMP", "PBM"
+        )
+        # On the shared workload GMP wins the vast majority of tasks.
+        assert cmp.wins_a > cmp.wins_b
+        assert cmp.mean_difference < 0
+
+    def test_win_matrix_on_sweep(self, sweep):
+        k = sweep.scale.group_sizes[-1]
+        batches = {
+            label: sweep.results[label][k]
+            for label in ("GMP", "LGS", "PBM")
+        }
+        matrix = win_matrix(batches, lambda r: float(r.transmissions))
+        assert len(matrix) == 3
+        assert matrix[("GMP", "PBM")].wins_a >= matrix[("GMP", "PBM")].wins_b

@@ -1,0 +1,149 @@
+"""Tests for the statistics module (CIs, sign tests, win matrices)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.engine.stats import TaskResult
+from repro.experiments.statistics import (
+    MeanCI,
+    _normal_quantile,
+    _t_quantile,
+    mean_confidence_interval,
+    paired_comparison,
+    render_win_matrix,
+    win_matrix,
+)
+
+
+def result(task_id, tx):
+    return TaskResult(
+        task_id=task_id, protocol="X", source_id=0, destination_ids=(1,),
+        delivered_hops={1: tx}, transmissions=tx, energy_joules=float(tx),
+        duration_s=0.0,
+    )
+
+
+class TestQuantiles:
+    def test_normal_quantile_known_values(self):
+        assert _normal_quantile(0.5) == pytest.approx(0.0, abs=1e-9)
+        assert _normal_quantile(0.975) == pytest.approx(1.959964, abs=1e-4)
+        assert _normal_quantile(0.995) == pytest.approx(2.575829, abs=1e-4)
+        assert _normal_quantile(0.025) == pytest.approx(-1.959964, abs=1e-4)
+
+    def test_normal_quantile_symmetry(self):
+        for p in (0.6, 0.9, 0.99, 0.999):
+            assert _normal_quantile(p) == pytest.approx(-_normal_quantile(1 - p), abs=1e-9)
+
+    def test_t_quantile_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        for dof in (3, 10, 30, 100):
+            for p in (0.95, 0.975, 0.995):
+                expected = float(scipy_stats.t.ppf(p, dof))
+                assert _t_quantile(p, dof) == pytest.approx(expected, rel=2e-2)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            _normal_quantile(0.0)
+        with pytest.raises(ValueError):
+            _t_quantile(0.95, 0)
+
+
+class TestMeanCI:
+    def test_basic_interval(self):
+        rng = np.random.default_rng(0)
+        sample = list(rng.normal(10.0, 2.0, size=200))
+        ci = mean_confidence_interval(sample)
+        assert ci.low < 10.0 < ci.high
+        assert ci.half_width < 0.6
+
+    def test_single_sample_infinite_width(self):
+        ci = mean_confidence_interval([5.0])
+        assert math.isinf(ci.half_width)
+
+    def test_zero_variance(self):
+        ci = mean_confidence_interval([3.0] * 10)
+        assert ci.mean == 3.0
+        assert ci.half_width == 0.0
+
+    def test_coverage_simulation(self):
+        # ~95% of intervals should contain the true mean.
+        rng = np.random.default_rng(1)
+        covered = 0
+        trials = 300
+        for _ in range(trials):
+            sample = rng.normal(0.0, 1.0, size=20)
+            ci = mean_confidence_interval(list(sample), confidence=0.95)
+            covered += ci.low <= 0.0 <= ci.high
+        assert 0.90 <= covered / trials <= 0.99
+
+    def test_overlap(self):
+        a = MeanCI(mean=1.0, half_width=0.5, confidence=0.95, sample_size=10)
+        b = MeanCI(mean=1.8, half_width=0.4, confidence=0.95, sample_size=10)
+        c = MeanCI(mean=3.0, half_width=0.3, confidence=0.95, sample_size=10)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0], confidence=1.5)
+
+
+class TestPairedComparison:
+    def test_clear_winner(self):
+        a = [result(i, 10) for i in range(20)]
+        b = [result(i, 14) for i in range(20)]
+        cmp = paired_comparison(a, b, lambda r: float(r.transmissions), "A", "B")
+        assert cmp.wins_a == 20
+        assert cmp.wins_b == 0
+        assert cmp.mean_difference == pytest.approx(-4.0)
+        assert cmp.significant
+
+    def test_tie_not_significant(self):
+        a = [result(i, 10) for i in range(20)]
+        b = [result(i, 10) for i in range(20)]
+        cmp = paired_comparison(a, b, lambda r: float(r.transmissions))
+        assert cmp.ties == 20
+        assert cmp.sign_test_p == 1.0
+        assert not cmp.significant
+
+    def test_balanced_wins_not_significant(self):
+        a = [result(i, 10 + (i % 2)) for i in range(20)]
+        b = [result(i, 10 + ((i + 1) % 2)) for i in range(20)]
+        cmp = paired_comparison(a, b, lambda r: float(r.transmissions))
+        assert cmp.wins_a == cmp.wins_b == 10
+        assert not cmp.significant
+
+    def test_mismatched_tasks_rejected(self):
+        a = [result(0, 10)]
+        b = [result(1, 10)]
+        with pytest.raises(ValueError):
+            paired_comparison(a, b, lambda r: float(r.transmissions))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            paired_comparison([result(0, 1)], [], lambda r: 0.0)
+
+
+class TestWinMatrix:
+    def test_all_pairs_present(self):
+        batches = {
+            "GMP": [result(i, 10) for i in range(10)],
+            "LGS": [result(i, 12) for i in range(10)],
+            "PBM": [result(i, 15) for i in range(10)],
+        }
+        matrix = win_matrix(batches, lambda r: float(r.transmissions))
+        assert len(matrix) == 3
+        assert matrix[("GMP", "LGS")].wins_a == 10
+
+    def test_render(self):
+        batches = {
+            "GMP": [result(i, 10) for i in range(10)],
+            "LGS": [result(i, 12) for i in range(10)],
+        }
+        text = render_win_matrix(win_matrix(batches, lambda r: float(r.transmissions)))
+        assert "GMP vs LGS" in text
+        assert "10-0" in text

@@ -1,0 +1,123 @@
+"""Tests for the exact 3-point Steiner (Fermat/Torricelli) point.
+
+The Fermat point is the backbone of the paper's rrSTR heuristic, so this is
+tested hard: closed-form cases, the 120-degree degeneracies, and a
+property-based cross-check against the independent Weiszfeld solver.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Point, distance
+from repro.geometry.fermat import fermat_point, fermat_total_length, weiszfeld_point
+
+coords = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+def star_length(t, pts):
+    return sum(distance(t, p) for p in pts)
+
+
+class TestClosedFormCases:
+    def test_equilateral_triangle_center(self):
+        a, b, c = Point(0, 0), Point(2, 0), Point(1, math.sqrt(3))
+        t = fermat_point(a, b, c)
+        # Fermat point of an equilateral triangle is its centroid.
+        assert t.x == pytest.approx(1.0, abs=1e-9)
+        assert t.y == pytest.approx(math.sqrt(3) / 3, abs=1e-9)
+
+    def test_sees_every_side_at_120_degrees(self):
+        a, b, c = Point(0, 0), Point(10, 0), Point(3, 8)
+        t = fermat_point(a, b, c)
+
+        def angle(u, v):
+            du = (u.x - t.x, u.y - t.y)
+            dv = (v.x - t.x, v.y - t.y)
+            dot = du[0] * dv[0] + du[1] * dv[1]
+            return math.acos(dot / (math.hypot(*du) * math.hypot(*dv)))
+
+        for u, v in ((a, b), (b, c), (a, c)):
+            assert angle(u, v) == pytest.approx(2 * math.pi / 3, abs=1e-6)
+
+
+class TestDegenerateCases:
+    def test_wide_angle_vertex_is_fermat_point(self):
+        # Angle at b is ~170 degrees: b itself is the minimizer.
+        a, b, c = Point(0, 0), Point(5, 0.2), Point(10, 0)
+        assert fermat_point(a, b, c) == b
+
+    def test_collinear_middle_point(self):
+        a, b, c = Point(0, 0), Point(5, 0), Point(10, 0)
+        assert fermat_point(a, b, c) == b
+
+    def test_coincident_pair(self):
+        a = Point(1, 1)
+        c = Point(5, 5)
+        assert fermat_point(a, a, c) == a
+
+    def test_all_coincident(self):
+        a = Point(2, 3)
+        assert fermat_point(a, a, a) == a
+
+    def test_exactly_120_degrees(self):
+        # Construct an angle of exactly 120 degrees at the origin.
+        a = Point(0, 0)
+        b = Point(10, 0)
+        c = Point(10 * math.cos(2 * math.pi / 3), 10 * math.sin(2 * math.pi / 3))
+        t = fermat_point(a, b, c)
+        assert distance(t, a) < 1e-6
+
+
+class TestOptimality:
+    @given(points, points, points)
+    @settings(max_examples=200)
+    def test_beats_every_vertex(self, a, b, c):
+        t = fermat_point(a, b, c)
+        best_vertex = min(star_length(v, (a, b, c)) for v in (a, b, c))
+        assert star_length(t, (a, b, c)) <= best_vertex + 1e-6
+
+    @given(points, points, points)
+    @settings(max_examples=200)
+    def test_matches_weiszfeld(self, a, b, c):
+        exact = fermat_total_length(a, b, c)
+        iterate = star_length(weiszfeld_point((a, b, c), max_iterations=500), (a, b, c))
+        scale = max(1.0, exact)
+        assert exact <= iterate + 1e-5 * scale
+
+    @given(points, points, points, points, points)
+    @settings(max_examples=100)
+    def test_never_beaten_by_random_interior_point(self, a, b, c, r1, r2):
+        t = fermat_point(a, b, c)
+        for probe in (r1, r2):
+            assert star_length(t, (a, b, c)) <= star_length(probe, (a, b, c)) + 1e-6
+
+
+class TestWeiszfeld:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            weiszfeld_point(())
+
+    def test_single_point(self):
+        assert weiszfeld_point((Point(3, 4),)) == Point(3, 4)
+
+    def test_two_points_median_on_segment(self):
+        m = weiszfeld_point((Point(0, 0), Point(10, 0)))
+        # Any point on the segment is optimal; length must equal the gap.
+        assert star_length(m, (Point(0, 0), Point(10, 0))) == pytest.approx(
+            10.0, abs=1e-6
+        )
+
+    def test_four_point_cross(self):
+        pts = (Point(-1, 0), Point(1, 0), Point(0, -1), Point(0, 1))
+        m = weiszfeld_point(pts)
+        assert abs(m.x) < 1e-6 and abs(m.y) < 1e-6
+
+    def test_vertex_sticking_resolved(self):
+        # Start centroid coincides with an input point for this set; the
+        # subgradient check must still certify/escape correctly.
+        pts = (Point(0, 0), Point(3, 0), Point(-3, 0), Point(0, 3), Point(0, -3))
+        m = weiszfeld_point(pts)
+        assert star_length(m, pts) == pytest.approx(12.0, abs=1e-6)

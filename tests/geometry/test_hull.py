@@ -1,0 +1,55 @@
+"""Tests for convex hulls and polygon areas."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Point, convex_hull, polygon_area
+
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestConvexHull:
+    def test_square_with_interior_point(self):
+        pts = [Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4), Point(2, 2)]
+        hull = convex_hull(pts)
+        assert len(hull) == 4
+        assert Point(2, 2) not in hull
+
+    def test_collinear_points(self):
+        pts = [Point(0, 0), Point(1, 1), Point(2, 2)]
+        hull = convex_hull(pts)
+        assert len(hull) == 2
+
+    def test_duplicates_removed(self):
+        pts = [Point(0, 0), Point(0, 0), Point(1, 0), Point(0, 1)]
+        assert len(convex_hull(pts)) == 3
+
+    @given(st.lists(points, min_size=3, max_size=40))
+    def test_hull_contains_all_points(self, pts):
+        hull = convex_hull(pts)
+        if len(hull) < 3:
+            return
+
+        def cross(o, a, b):
+            return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x)
+
+        for p in pts:
+            for i in range(len(hull)):
+                a, b = hull[i], hull[(i + 1) % len(hull)]
+                assert cross(a, b, p) >= -1e-6 * max(
+                    1.0, abs(a.x), abs(a.y), abs(b.x), abs(b.y)
+                )
+
+
+class TestPolygonArea:
+    def test_unit_square(self):
+        square = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)]
+        assert polygon_area(square) == pytest.approx(1.0)
+
+    def test_orientation_independent(self):
+        square = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)]
+        assert polygon_area(list(reversed(square))) == pytest.approx(1.0)
+
+    def test_degenerate(self):
+        assert polygon_area([Point(0, 0), Point(1, 1)]) == 0.0

@@ -1,0 +1,141 @@
+"""Unit and property tests for the point primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import (
+    Point,
+    angle_at,
+    angle_between,
+    centroid,
+    distance,
+    distance_sq,
+    lerp,
+    midpoint,
+    nearly_equal_points,
+    rotate_about,
+    unit_toward,
+)
+
+coords = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, coords, coords)
+
+
+class TestDistance:
+    def test_euclidean(self):
+        assert distance(Point(0, 0), Point(3, 4)) == pytest.approx(5.0)
+
+    def test_zero_for_same_point(self):
+        assert distance(Point(2.5, -1), Point(2.5, -1)) == 0.0
+
+    @given(points, points)
+    def test_symmetry(self, a, b):
+        assert distance(a, b) == pytest.approx(distance(b, a))
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert distance(a, c) <= distance(a, b) + distance(b, c) + 1e-6
+
+    @given(points, points)
+    def test_distance_sq_consistent(self, a, b):
+        assert distance_sq(a, b) == pytest.approx(distance(a, b) ** 2, rel=1e-9)
+
+
+class TestMidpointLerp:
+    def test_midpoint(self):
+        assert midpoint(Point(0, 0), Point(2, 4)) == Point(1, 2)
+
+    def test_lerp_endpoints(self):
+        a, b = Point(1, 1), Point(5, -3)
+        assert lerp(a, b, 0.0) == a
+        assert lerp(a, b, 1.0) == b
+
+    @given(points, points)
+    def test_midpoint_equidistant(self, a, b):
+        m = midpoint(a, b)
+        assert distance(m, a) == pytest.approx(distance(m, b), abs=1e-6)
+
+
+class TestCentroid:
+    def test_single_point(self):
+        assert centroid([Point(3, 4)]) == Point(3, 4)
+
+    def test_square(self):
+        pts = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+        assert centroid(pts) == Point(1, 1)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+
+class TestAngles:
+    def test_right_angle(self):
+        assert angle_between(Point(1, 0), Point(0, 1)) == pytest.approx(math.pi / 2)
+
+    def test_collinear_same_direction(self):
+        assert angle_between(Point(1, 0), Point(5, 0)) == pytest.approx(0.0)
+
+    def test_opposite(self):
+        assert angle_between(Point(1, 0), Point(-2, 0)) == pytest.approx(math.pi)
+
+    def test_zero_vector_raises(self):
+        with pytest.raises(ValueError):
+            angle_between(Point(0, 0), Point(1, 0))
+
+    def test_angle_at_vertex(self):
+        # Equilateral triangle: every interior angle is 60 degrees.
+        a, b, c = Point(0, 0), Point(1, 0), Point(0.5, math.sqrt(3) / 2)
+        assert angle_at(a, b, c) == pytest.approx(math.pi / 3)
+        assert angle_at(b, a, c) == pytest.approx(math.pi / 3)
+        assert angle_at(c, a, b) == pytest.approx(math.pi / 3)
+
+
+class TestRotate:
+    def test_quarter_turn(self):
+        rotated = rotate_about(Point(1, 0), Point(0, 0), math.pi / 2)
+        assert rotated.x == pytest.approx(0.0, abs=1e-12)
+        assert rotated.y == pytest.approx(1.0)
+
+    @given(points, points, st.floats(min_value=-10, max_value=10))
+    def test_rotation_preserves_distance_to_pivot(self, p, pivot, theta):
+        rotated = rotate_about(p, pivot, theta)
+        assert distance(rotated, pivot) == pytest.approx(
+            distance(p, pivot), abs=1e-6
+        )
+
+
+class TestUnitToward:
+    def test_axis(self):
+        u = unit_toward(Point(0, 0), Point(10, 0))
+        assert u == Point(1.0, 0.0)
+
+    def test_coincident_raises(self):
+        with pytest.raises(ValueError):
+            unit_toward(Point(1, 1), Point(1, 1))
+
+
+class TestNearlyEqual:
+    def test_within_tolerance(self):
+        assert nearly_equal_points(Point(0, 0), Point(1e-12, -1e-12))
+
+    def test_outside_tolerance(self):
+        assert not nearly_equal_points(Point(0, 0), Point(1e-3, 0))
+
+
+class TestPointArithmetic:
+    def test_add_sub(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+
+    def test_scaled_and_norm(self):
+        assert Point(3, 4).norm() == pytest.approx(5.0)
+        assert Point(1, -2).scaled(3) == Point(3, -6)
+
+    def test_unpacks_like_tuple(self):
+        x, y = Point(7, 8)
+        assert (x, y) == (7, 8)

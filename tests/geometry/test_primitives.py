@@ -1,0 +1,132 @@
+"""Tests for orientation, segment intersection and angular sweeps."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import (
+    Orientation,
+    Point,
+    bearing,
+    ccw_angle_from,
+    distance,
+    orientation,
+    point_on_segment,
+    segment_intersection,
+    segments_cross,
+)
+
+coords = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestOrientation:
+    def test_counterclockwise(self):
+        assert orientation(Point(0, 0), Point(1, 0), Point(0, 1)) is Orientation.COUNTERCLOCKWISE
+
+    def test_clockwise(self):
+        assert orientation(Point(0, 0), Point(0, 1), Point(1, 0)) is Orientation.CLOCKWISE
+
+    def test_collinear(self):
+        assert orientation(Point(0, 0), Point(1, 1), Point(2, 2)) is Orientation.COLLINEAR
+
+    @given(points, points, points)
+    def test_reversal_flips_sign(self, a, b, c):
+        forward = orientation(a, b, c)
+        backward = orientation(c, b, a)
+        if forward is Orientation.COLLINEAR:
+            assert backward is Orientation.COLLINEAR
+        else:
+            assert backward == Orientation(-forward.value)
+
+
+class TestPointOnSegment:
+    def test_midpoint_on(self):
+        assert point_on_segment(Point(1, 1), Point(0, 0), Point(2, 2))
+
+    def test_collinear_but_outside(self):
+        assert not point_on_segment(Point(3, 3), Point(0, 0), Point(2, 2))
+
+    def test_off_segment(self):
+        assert not point_on_segment(Point(1, 0), Point(0, 0), Point(2, 2))
+
+
+class TestSegmentsCross:
+    def test_plain_cross(self):
+        assert segments_cross(Point(0, 0), Point(2, 2), Point(0, 2), Point(2, 0))
+
+    def test_disjoint(self):
+        assert not segments_cross(Point(0, 0), Point(1, 0), Point(0, 1), Point(1, 1))
+
+    def test_shared_endpoint(self):
+        assert segments_cross(Point(0, 0), Point(1, 1), Point(1, 1), Point(2, 0))
+
+    def test_collinear_overlap(self):
+        assert segments_cross(Point(0, 0), Point(2, 0), Point(1, 0), Point(3, 0))
+
+
+class TestSegmentIntersection:
+    def test_crossing_point(self):
+        hit = segment_intersection(Point(0, 0), Point(2, 2), Point(0, 2), Point(2, 0))
+        assert hit is not None
+        assert hit.x == pytest.approx(1.0)
+        assert hit.y == pytest.approx(1.0)
+
+    def test_none_when_disjoint(self):
+        assert (
+            segment_intersection(Point(0, 0), Point(1, 0), Point(0, 1), Point(1, 1))
+            is None
+        )
+
+    def test_parallel_non_overlapping(self):
+        assert (
+            segment_intersection(Point(0, 0), Point(1, 0), Point(0, 1), Point(1, 1))
+            is None
+        )
+
+    def test_collinear_overlap_returns_witness(self):
+        hit = segment_intersection(Point(0, 0), Point(2, 0), Point(1, 0), Point(3, 0))
+        assert hit is not None
+        assert point_on_segment(hit, Point(0, 0), Point(2, 0))
+        assert point_on_segment(hit, Point(1, 0), Point(3, 0))
+
+    @given(points, points, points, points)
+    def test_intersection_lies_on_both_segments(self, p1, p2, q1, q2):
+        hit = segment_intersection(p1, p2, q1, q2)
+        if hit is None:
+            return
+        # The witness must be within a small tolerance of both segments.
+        for a, b in ((p1, p2), (q1, q2)):
+            seg_len = distance(a, b)
+            if seg_len == 0:
+                assert distance(hit, a) < 1e-5 + 1e-7 * max(1.0, abs(a.x) + abs(a.y))
+            else:
+                cross = abs(
+                    (b.x - a.x) * (hit.y - a.y) - (b.y - a.y) * (hit.x - a.x)
+                )
+                assert cross / seg_len < 1e-4 * max(1.0, seg_len)
+
+
+class TestBearingSweep:
+    def test_bearing_quadrants(self):
+        origin = Point(0, 0)
+        assert bearing(origin, Point(1, 0)) == pytest.approx(0.0)
+        assert bearing(origin, Point(0, 1)) == pytest.approx(math.pi / 2)
+        assert bearing(origin, Point(-1, 0)) == pytest.approx(math.pi)
+        assert bearing(origin, Point(0, -1)) == pytest.approx(3 * math.pi / 2)
+
+    def test_ccw_sweep_ordering(self):
+        origin = Point(0, 0)
+        reference = Point(1, 0)
+        north = ccw_angle_from(origin, reference, Point(0, 1))
+        west = ccw_angle_from(origin, reference, Point(-1, 0))
+        south = ccw_angle_from(origin, reference, Point(0, -1))
+        assert north < west < south
+
+    def test_same_direction_maps_to_full_turn(self):
+        # A candidate collinear with the reference gets 2*pi, not 0, so the
+        # right-hand rule treats "go straight back the way we came" as the
+        # last resort.
+        sweep = ccw_angle_from(Point(0, 0), Point(1, 0), Point(2, 0))
+        assert sweep == pytest.approx(2 * math.pi)

@@ -1,0 +1,105 @@
+"""End-to-end integration tests: every protocol on realistic networks."""
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineConfig, run_task
+from repro.routing import (
+    GMPProtocol,
+    GRDProtocol,
+    LGKProtocol,
+    LGSProtocol,
+    PBMProtocol,
+    SMTProtocol,
+)
+from repro.experiments.workload import generate_tasks
+
+ALL_PROTOCOLS = [
+    GMPProtocol,
+    lambda: GMPProtocol(radio_aware=False),
+    LGSProtocol,
+    lambda: LGKProtocol(2),
+    PBMProtocol,
+    SMTProtocol,
+    GRDProtocol,
+]
+
+
+@pytest.mark.parametrize("factory", ALL_PROTOCOLS)
+def test_full_delivery_on_dense_network(dense_network, factory):
+    """On a connected, dense network every protocol delivers everything."""
+    protocol = factory()
+    rng = np.random.default_rng(13)
+    for task in generate_tasks(dense_network, 5, 6, rng):
+        result = run_task(
+            dense_network,
+            protocol,
+            task.source_id,
+            task.destination_ids,
+            config=EngineConfig(max_path_length=200),
+            task_id=task.task_id,
+        )
+        assert result.success, (
+            f"{protocol.name} failed {result.failed_destinations} "
+            f"for task {task.task_id}"
+        )
+        assert result.transmissions > 0
+        assert result.energy_joules > 0
+        # Hop counts are bounded by the TTL.
+        assert all(h <= 200 for h in result.delivered_hops.values())
+
+
+@pytest.mark.parametrize("factory", ALL_PROTOCOLS)
+def test_deterministic_replay(dense_network, factory):
+    """The same task replayed gives the identical result."""
+    protocol_a, protocol_b = factory(), factory()
+    first = run_task(dense_network, protocol_a, 3, [60, 90, 120], task_id=1)
+    second = run_task(dense_network, protocol_b, 3, [60, 90, 120], task_id=1)
+    assert first.delivered_hops == second.delivered_hops
+    assert first.transmissions == second.transmissions
+    assert first.energy_joules == pytest.approx(second.energy_joules)
+
+
+def test_protocol_ordering_on_shared_workload(dense_network):
+    """The paper's headline orderings on a small shared workload.
+
+    Small-sample versions of Figures 11/12: GMP needs fewer transmissions
+    than LGS and PBM; per-destination hops GMP is well below LGS.
+    """
+    rng = np.random.default_rng(4)
+    tasks = generate_tasks(dense_network, 12, 8, rng)
+    totals = {}
+    per_dest = {}
+    for factory in (GMPProtocol, LGSProtocol, PBMProtocol, GRDProtocol):
+        protocol = factory()
+        results = [
+            run_task(dense_network, protocol, t.source_id, t.destination_ids)
+            for t in tasks
+        ]
+        assert all(r.success for r in results)
+        totals[protocol.name] = sum(r.transmissions for r in results)
+        per_dest[protocol.name] = sum(
+            r.average_per_destination_hops for r in results
+        )
+    assert totals["GMP"] < totals["PBM[l=0.3]"]
+    assert totals["GMP"] <= totals["LGS"] * 1.02
+    assert per_dest["GMP"] < per_dest["LGS"]
+    assert per_dest["GRD"] <= per_dest["GMP"]
+
+
+def test_grid_network_multicast(grid_network):
+    """Structured topology: corner source to the three other corners."""
+    side = 10
+    corners = [side - 1, side * (side - 1), side * side - 1]
+    for factory in (GMPProtocol, LGSProtocol, PBMProtocol, SMTProtocol):
+        result = run_task(grid_network, factory(), 0, corners)
+        assert result.success, factory().name
+
+
+def test_single_hop_group(dense_network):
+    """All destinations inside the source's radio range: one hop each."""
+    source = 0
+    neighbors = list(dense_network.neighbors_of(source))[:4]
+    result = run_task(dense_network, GMPProtocol(), source, neighbors)
+    assert result.success
+    assert all(h == 1 for h in result.delivered_hops.values())

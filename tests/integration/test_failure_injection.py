@@ -1,0 +1,150 @@
+"""Failure injection: voids, partitions, sparse networks, TTL pressure."""
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineConfig, run_task
+from repro.geometry import Point
+from repro.network import RadioConfig, build_network
+from repro.network.topology import topology_with_voids, uniform_random_topology
+from repro.routing import GMPProtocol, GRDProtocol, LGSProtocol, PBMProtocol
+
+
+@pytest.fixture(scope="module")
+def void_network():
+    """A connected deployment with a large central void.
+
+    Routing across the middle must go around: this forces perimeter mode
+    (GMP/PBM) and defeats pure greedy (LGS/GRD) for cross-void traffic.
+    """
+    rng = np.random.default_rng(99)
+    points = topology_with_voids(
+        500, 1000.0, 1000.0, [(Point(500, 500), 260.0)], rng
+    )
+    net = build_network(points, RadioConfig(radio_range_m=150.0))
+    assert net.is_connected()
+    return net
+
+
+def cross_void_pairs(net, count=12):
+    """(source, dest) pairs whose straight line crosses the central void."""
+    west = [
+        n.node_id
+        for n in net.nodes
+        if n.location.x < 200 and 380 < n.location.y < 620
+    ]
+    east = [
+        n.node_id
+        for n in net.nodes
+        if n.location.x > 800 and 380 < n.location.y < 620
+    ]
+    pairs = [(w, e) for w in west for e in east]
+    return pairs[:count]
+
+
+class TestVoidRecovery:
+    def test_gmp_routes_around_void(self, void_network):
+        pairs = cross_void_pairs(void_network)
+        assert pairs, "fixture produced no cross-void pairs"
+        delivered = 0
+        for source, dest in pairs:
+            result = run_task(void_network, GMPProtocol(), source, [dest])
+            delivered += result.success
+        # Perimeter recovery must succeed for the (large) majority.
+        assert delivered >= len(pairs) * 0.8
+
+    def test_pbm_routes_around_void(self, void_network):
+        pairs = cross_void_pairs(void_network)
+        delivered = sum(
+            run_task(void_network, PBMProtocol(), s, [d]).success for s, d in pairs
+        )
+        assert delivered >= len(pairs) * 0.8
+
+    def test_greedy_protocols_fail_more(self, void_network):
+        # LGS and GRD have no recovery; on cross-void unicast they can only
+        # succeed when greedy never stalls.
+        pairs = cross_void_pairs(void_network)
+        gmp_ok = sum(
+            run_task(void_network, GMPProtocol(), s, [d]).success for s, d in pairs
+        )
+        lgs_ok = sum(
+            run_task(void_network, LGSProtocol(), s, [d]).success for s, d in pairs
+        )
+        grd_ok = sum(
+            run_task(void_network, GRDProtocol(), s, [d]).success for s, d in pairs
+        )
+        assert lgs_ok <= gmp_ok
+        assert grd_ok <= gmp_ok
+
+    def test_mixed_group_with_void_crossing(self, void_network):
+        # A group mixing same-side and far-side destinations: GMP delivers
+        # the same-side ones regardless and usually all of them.
+        pairs = cross_void_pairs(void_network)
+        source, far = pairs[0]
+        near = [
+            n for n in void_network.neighbors_of(source)
+        ][:2]
+        result = run_task(void_network, GMPProtocol(), source, near + [far])
+        for dest in near:
+            assert dest in result.delivered_hops
+
+
+class TestSparseNetworks:
+    def test_failures_decrease_with_density(self):
+        """The Figure-15 mechanism: sparser => more failed tasks."""
+        failures = {}
+        for count in (130, 400):
+            failed = 0
+            for net_seed in range(3):
+                rng = np.random.default_rng(1000 + net_seed)
+                pts = uniform_random_topology(count, 1000.0, 1000.0, rng)
+                net = build_network(pts, RadioConfig(radio_range_m=150.0))
+                task_rng = np.random.default_rng(2000 + net_seed)
+                for _ in range(8):
+                    picks = task_rng.choice(count, size=7, replace=False)
+                    result = run_task(
+                        net,
+                        GMPProtocol(),
+                        int(picks[0]),
+                        [int(p) for p in picks[1:]],
+                        config=EngineConfig(max_path_length=100),
+                    )
+                    failed += not result.success
+            failures[count] = failed
+        assert failures[130] >= failures[400]
+
+    def test_lgs_fails_most_when_sparse(self):
+        rng = np.random.default_rng(5)
+        pts = uniform_random_topology(170, 1000.0, 1000.0, rng)
+        net = build_network(pts, RadioConfig(radio_range_m=150.0))
+        task_rng = np.random.default_rng(6)
+        tasks = []
+        for _ in range(15):
+            picks = task_rng.choice(170, size=7, replace=False)
+            tasks.append((int(picks[0]), [int(p) for p in picks[1:]]))
+        config = EngineConfig(max_path_length=100)
+        gmp_failed = sum(
+            not run_task(net, GMPProtocol(), s, d, config=config).success
+            for s, d in tasks
+        )
+        lgs_failed = sum(
+            not run_task(net, LGSProtocol(), s, d, config=config).success
+            for s, d in tasks
+        )
+        assert gmp_failed <= lgs_failed
+
+
+class TestTTLPressure:
+    def test_tight_ttl_degrades_gracefully(self, void_network):
+        pairs = cross_void_pairs(void_network)
+        source, dest = pairs[0]
+        generous = run_task(
+            void_network, GMPProtocol(), source, [dest],
+            config=EngineConfig(max_path_length=100),
+        )
+        strangled = run_task(
+            void_network, GMPProtocol(), source, [dest],
+            config=EngineConfig(max_path_length=3),
+        )
+        assert generous.transmissions >= strangled.transmissions
+        assert not strangled.success

@@ -1,0 +1,102 @@
+"""The EXPERIMENTS.md claims, asserted against the committed results artifact.
+
+`results_mid.json` is produced by `scripts/mid_scale_run.py` (4 networks x
+50 tasks, full k and lambda grids).  These tests keep the documentation, the
+artifact and the code honest with each other: if a future change breaks a
+reproduced shape, regenerating the artifact will fail here.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.figures import FigureResult
+
+ARTIFACT = pathlib.Path(__file__).resolve().parents[2] / "results_mid.json"
+
+
+@pytest.fixture(scope="module")
+def figures():
+    if not ARTIFACT.exists():
+        pytest.skip("results_mid.json not present (run scripts/mid_scale_run.py)")
+    payload = json.loads(ARTIFACT.read_text())
+    return {name: FigureResult.from_json_dict(fig) for name, fig in payload.items()}
+
+
+class TestFigure11Claims:
+    def test_gmp_least_total_hops_everywhere(self, figures):
+        fig = figures["figure11"]
+        for k in fig.xs():
+            gmp = fig.value("GMP", k)
+            for label in ("LGS", "PBM", "GMPnr", "SMT"):
+                assert gmp < fig.value(label, k), (label, k)
+
+    def test_radio_awareness_worth_about_25_percent(self, figures):
+        fig = figures["figure11"]
+        k = max(fig.xs())
+        saving = 1 - fig.value("GMP", k) / fig.value("GMPnr", k)
+        assert 0.2 <= saving <= 0.45
+
+    def test_pbm_gap_exceeds_paper_headline(self, figures):
+        fig = figures["figure11"]
+        k = max(fig.xs())
+        assert 1 - fig.value("GMP", k) / fig.value("PBM", k) >= 0.25
+
+
+class TestFigure12Claims:
+    def test_grd_lower_bounds_everyone(self, figures):
+        fig = figures["figure12"]
+        for k in fig.xs():
+            grd = fig.value("GRD", k)
+            for label in ("GMP", "PBM", "LGS", "SMT"):
+                assert grd <= fig.value(label, k) + 1e-9
+
+    def test_gmp_close_to_greedy_lgs_not(self, figures):
+        fig = figures["figure12"]
+        k = max(fig.xs())
+        grd = fig.value("GRD", k)
+        assert fig.value("GMP", k) <= grd * 1.4
+        assert fig.value("LGS", k) >= grd * 1.8
+
+    def test_lgs_gap_grows_with_k(self, figures):
+        fig = figures["figure12"]
+        ks = fig.xs()
+        gaps = [fig.value("LGS", k) - fig.value("GMP", k) for k in ks]
+        assert gaps[-1] > gaps[0]
+
+
+class TestFigure14Claims:
+    def test_energy_mirrors_hops(self, figures):
+        hops = figures["figure11"]
+        energy = figures["figure14"]
+        for k in hops.xs():
+            for label in energy.labels():
+                assert energy.value(label, k) > 0
+            assert energy.value("GMP", k) == min(
+                energy.value(label, k) for label in energy.labels()
+            )
+
+
+class TestFigure15Claims:
+    def test_failures_decrease_with_density(self, figures):
+        fig = figures["figure15"]
+        for label in fig.labels():
+            series = [fig.value(label, x) for x in fig.xs()]
+            assert series[0] >= series[-1]
+
+    def test_lgs_fails_most_in_sparse_regime(self, figures):
+        fig = figures["figure15"]
+        sparse = min(fig.xs())
+        assert fig.value("LGS", sparse) > fig.value("GMP", sparse)
+        assert fig.value("LGS", sparse) > fig.value("PBM", sparse)
+
+    def test_gmp_no_worse_than_pbm(self, figures):
+        fig = figures["figure15"]
+        for x in fig.xs():
+            assert fig.value("GMP", x) <= fig.value("PBM", x) + 1e-9
+
+    def test_paper_densities_failure_free(self, figures):
+        fig = figures["figure15"]
+        for x in (600.0, 1000.0):
+            assert fig.value("GMP", x) == 0.0

@@ -1,0 +1,102 @@
+"""Tests for unit-disk connectivity and spatial queries."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, distance
+from repro.network import RadioConfig, SpatialGrid, build_network
+from repro.network.topology import uniform_random_topology
+from tests.conftest import make_grid_network, make_line_network
+
+
+class TestSpatialGrid:
+    def test_finds_points_in_radius(self):
+        pts = [Point(0, 0), Point(10, 0), Point(100, 100)]
+        grid = SpatialGrid(pts, cell_size=50.0)
+        hits = grid.indices_within(Point(0, 0), 20.0)
+        assert sorted(hits) == [0, 1]
+
+    def test_radius_is_inclusive(self):
+        grid = SpatialGrid([Point(0, 0), Point(10, 0)], cell_size=5.0)
+        assert sorted(grid.indices_within(Point(0, 0), 10.0)) == [0, 1]
+
+    def test_matches_brute_force(self, rng):
+        pts = [Point(*rng.uniform(0, 1000, 2)) for _ in range(300)]
+        grid = SpatialGrid(pts, cell_size=150.0)
+        center = Point(500, 500)
+        expected = sorted(
+            i for i, p in enumerate(pts) if distance(p, center) <= 180.0
+        )
+        assert sorted(grid.indices_within(center, 180.0)) == expected
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            SpatialGrid([Point(0, 0)], cell_size=0)
+        grid = SpatialGrid([Point(0, 0)], cell_size=10)
+        with pytest.raises(ValueError):
+            grid.indices_within(Point(0, 0), -1)
+
+
+class TestWirelessNetwork:
+    def test_line_neighbors(self):
+        net = make_line_network(5, spacing=100.0, radio_range=150.0)
+        assert net.neighbors_of(0) == (1,)
+        assert net.neighbors_of(2) == (1, 3)
+
+    def test_symmetry(self, dense_network):
+        for node in range(0, dense_network.node_count, 17):
+            for other in dense_network.neighbors_of(node):
+                assert node in dense_network.neighbors_of(other)
+
+    def test_neighbor_distances_within_range(self, dense_network):
+        rr = dense_network.radio.radio_range_m
+        for node in range(0, dense_network.node_count, 23):
+            loc = dense_network.location_of(node)
+            for other in dense_network.neighbors_of(node):
+                assert distance(loc, dense_network.location_of(other)) <= rr
+
+    def test_listeners_equal_neighbors(self, grid_network):
+        assert grid_network.listeners_of(5) == grid_network.neighbors_of(5)
+
+    def test_nodes_within_arbitrary_point(self, grid_network):
+        hits = grid_network.nodes_within(Point(50, 50), 100.0)
+        assert 0 in hits and 11 in hits
+
+    def test_closest_node_to(self, grid_network):
+        # Grid spacing is 100; node 0 is at (0, 0).
+        assert grid_network.closest_node_to(Point(10, -5)) == 0
+
+    def test_average_degree_line(self):
+        net = make_line_network(4, spacing=100.0, radio_range=150.0)
+        # Degrees: 1, 2, 2, 1.
+        assert net.average_degree() == pytest.approx(1.5)
+
+    def test_connectivity(self):
+        connected = make_line_network(5, spacing=100.0)
+        assert connected.is_connected()
+        split = make_line_network(5, spacing=200.0, radio_range=150.0)
+        assert not split.is_connected()
+
+    def test_networkx_weights_are_distances(self, grid_network):
+        graph = grid_network.to_networkx()
+        for u, v, data in list(graph.edges(data=True))[:20]:
+            assert data["weight"] == pytest.approx(
+                distance(grid_network.location_of(u), grid_network.location_of(v))
+            )
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            build_network([], RadioConfig())
+
+    def test_locations_array_matches_nodes(self, dense_network):
+        arr = dense_network.locations
+        assert arr.shape == (dense_network.node_count, 2)
+        loc = dense_network.location_of(42)
+        assert arr[42, 0] == loc.x and arr[42, 1] == loc.y
+
+    def test_density_scaling(self, rng):
+        sparse_pts = uniform_random_topology(200, 1000, 1000, rng)
+        dense_pts = uniform_random_topology(800, 1000, 1000, rng)
+        sparse = build_network(sparse_pts)
+        dense = build_network(dense_pts)
+        assert dense.average_degree() > sparse.average_degree() * 2

@@ -1,0 +1,79 @@
+"""Tests for the radio parameters and the Section-5.3 energy model."""
+
+import pytest
+
+from repro.network import EnergyMeter, EnergyModel, RadioConfig
+
+
+class TestRadioConfig:
+    def test_table1_defaults(self):
+        radio = RadioConfig()
+        assert radio.radio_range_m == 150.0
+        assert radio.data_rate_bps == 1_000_000.0
+        assert radio.tx_power_w == 1.3
+        assert radio.rx_power_w == 0.9
+        assert radio.message_size_bytes == 128
+
+    def test_transmission_time_of_paper_message(self):
+        # 128 bytes at 1 Mbps = 1.024 ms.
+        assert RadioConfig().transmission_time() == pytest.approx(1.024e-3)
+
+    def test_transmission_time_custom_size(self):
+        assert RadioConfig().transmission_time(256) == pytest.approx(2.048e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RadioConfig(radio_range_m=0)
+        with pytest.raises(ValueError):
+            RadioConfig(data_rate_bps=-1)
+        with pytest.raises(ValueError):
+            RadioConfig(tx_power_w=-0.1)
+        with pytest.raises(ValueError):
+            RadioConfig(message_size_bytes=0)
+        with pytest.raises(ValueError):
+            RadioConfig().transmission_time(0)
+
+
+class TestEnergyModel:
+    def test_sender_plus_listeners(self):
+        model = EnergyModel(RadioConfig())
+        t = 1.024e-3
+        # One sender, three listeners: t * (1.3 + 3 * 0.9).
+        assert model.transmission_energy(3) == pytest.approx(t * (1.3 + 2.7))
+
+    def test_zero_listeners(self):
+        model = EnergyModel(RadioConfig())
+        assert model.transmission_energy(0) == pytest.approx(1.024e-3 * 1.3)
+
+    def test_negative_listeners_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(RadioConfig()).transmission_energy(-1)
+
+    def test_split_identity(self):
+        model = EnergyModel(RadioConfig())
+        assert model.transmission_energy(5) == pytest.approx(
+            model.tx_energy() + 5 * model.rx_energy()
+        )
+
+
+class TestEnergyMeter:
+    def test_accumulates_by_node_and_role(self):
+        meter = EnergyMeter(EnergyModel(RadioConfig()))
+        total = meter.record_transmission(0, [1, 2])
+        assert meter.transmissions == 1
+        assert meter.tx_joules_by_node[0] == pytest.approx(1.024e-3 * 1.3)
+        assert meter.rx_joules_by_node[1] == pytest.approx(1.024e-3 * 0.9)
+        assert total == pytest.approx(meter.total_joules)
+
+    def test_accounting_identity(self):
+        meter = EnergyMeter(EnergyModel(RadioConfig()))
+        meter.record_transmission(0, [1, 2, 3])
+        meter.record_transmission(1, [0])
+        meter.record_transmission(2, [])
+        assert meter.transmissions == 3
+        assert meter.total_joules == pytest.approx(
+            meter.total_tx_joules + meter.total_rx_joules
+        )
+        # 3 transmissions, 4 listener receptions in total.
+        t = 1.024e-3
+        assert meter.total_joules == pytest.approx(t * (3 * 1.3 + 4 * 0.9))

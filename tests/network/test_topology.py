@@ -1,0 +1,107 @@
+"""Tests for node placement generators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point
+from repro.network.topology import (
+    clustered_topology,
+    grid_topology,
+    topology_with_voids,
+    uniform_random_topology,
+)
+
+
+class TestUniform:
+    def test_count_and_bounds(self, rng):
+        pts = uniform_random_topology(200, 500.0, 300.0, rng)
+        assert len(pts) == 200
+        assert all(0 <= p.x <= 500 and 0 <= p.y <= 300 for p in pts)
+
+    def test_deterministic_for_seed(self):
+        a = uniform_random_topology(50, 100, 100, np.random.default_rng(3))
+        b = uniform_random_topology(50, 100, 100, np.random.default_rng(3))
+        assert a == b
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            uniform_random_topology(0, 100, 100, rng)
+        with pytest.raises(ValueError):
+            uniform_random_topology(10, -1, 100, rng)
+
+
+class TestGrid:
+    def test_exact_count(self):
+        pts = grid_topology(37, 1000, 1000)
+        assert len(pts) == 37
+
+    def test_no_duplicates_without_jitter(self):
+        pts = grid_topology(100, 1000, 1000)
+        assert len(set(pts)) == 100
+
+    def test_jitter_requires_rng(self):
+        with pytest.raises(ValueError):
+            grid_topology(10, 100, 100, jitter=5.0)
+
+    def test_jitter_stays_in_field(self, rng):
+        pts = grid_topology(100, 100, 100, jitter=50.0, rng=rng)
+        assert all(0 <= p.x <= 100 and 0 <= p.y <= 100 for p in pts)
+
+
+class TestClustered:
+    def test_count_and_bounds(self, rng):
+        pts = clustered_topology(150, 1000, 1000, cluster_count=4, cluster_spread=50, rng=rng)
+        assert len(pts) == 150
+        assert all(0 <= p.x <= 1000 and 0 <= p.y <= 1000 for p in pts)
+
+    def test_clusters_are_tighter_than_uniform(self, rng):
+        clustered = clustered_topology(
+            300, 1000, 1000, cluster_count=3, cluster_spread=30, rng=rng
+        )
+        uniform = uniform_random_topology(300, 1000, 1000, rng)
+
+        def mean_nn(pts):
+            total = 0.0
+            for p in pts[:50]:
+                total += min(
+                    math.hypot(p.x - q.x, p.y - q.y) for q in pts if q != p
+                )
+            return total / 50
+
+        assert mean_nn(clustered) < mean_nn(uniform)
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            clustered_topology(10, 100, 100, cluster_count=0, cluster_spread=10, rng=rng)
+        with pytest.raises(ValueError):
+            clustered_topology(10, 100, 100, cluster_count=2, cluster_spread=0, rng=rng)
+
+
+class TestVoids:
+    def test_no_node_inside_void(self, rng):
+        void = (Point(500, 500), 200.0)
+        pts = topology_with_voids(300, 1000, 1000, [void], rng)
+        assert len(pts) == 300
+        assert all(math.hypot(p.x - 500, p.y - 500) >= 200 for p in pts)
+
+    def test_multiple_voids(self, rng):
+        voids = [(Point(250, 250), 100.0), (Point(750, 750), 150.0)]
+        pts = topology_with_voids(200, 1000, 1000, voids, rng)
+        for center, radius in voids:
+            assert all(
+                math.hypot(p.x - center.x, p.y - center.y) >= radius for p in pts
+            )
+
+    def test_impossible_void_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            topology_with_voids(
+                10, 100, 100, [(Point(50, 50), 1000.0)], rng, max_attempts_per_node=10
+            )
+
+    def test_invalid_void_spec(self, rng):
+        with pytest.raises(ValueError):
+            topology_with_voids(10, 100, 100, [(Point(50, 50), -5.0)], rng)
+        with pytest.raises(ValueError):
+            topology_with_voids(10, 100, 100, [(Point(500, 50), 5.0)], rng)

@@ -1,0 +1,27 @@
+"""Helpers for constructing protocol-level test scenarios."""
+
+from __future__ import annotations
+
+from repro.geometry import Point
+from repro.network import RadioConfig, build_network
+from repro.packets import Destination, MulticastPacket
+from repro.routing.base import NodeView
+
+
+def network_from_points(points, radio_range=150.0):
+    return build_network(points, RadioConfig(radio_range_m=radio_range))
+
+
+def view_of(network, node_id):
+    return NodeView(network, node_id)
+
+
+def packet_for(network, source_id, dest_ids, **kwargs):
+    return MulticastPacket(
+        task_id=kwargs.pop("task_id", 0),
+        source=Destination(source_id, network.location_of(source_id)),
+        destinations=tuple(
+            Destination(d, network.location_of(d)) for d in dest_ids
+        ),
+        **kwargs,
+    )

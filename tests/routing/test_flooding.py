@@ -1,0 +1,66 @@
+"""Tests for the flooding baseline."""
+
+import pytest
+
+from repro.engine import EngineConfig, run_task
+from repro.routing.flooding import FloodingProtocol
+from tests.conftest import make_line_network
+from tests.routing.helpers import network_from_points
+from repro.geometry import Point
+
+
+class TestFlooding:
+    def test_reaches_whole_component(self, dense_network):
+        result = run_task(
+            dense_network, FloodingProtocol(), 0, [50, 100, 150, 299]
+        )
+        assert result.success
+
+    def test_one_transmission_per_node(self, grid_network):
+        result = run_task(grid_network, FloodingProtocol(), 0, [99])
+        # Every node rebroadcasts at most once; with broadcast frames the
+        # transmission count is the number of relaying nodes.
+        assert result.transmissions <= grid_network.node_count
+
+    def test_hops_are_bfs_optimal(self):
+        net = make_line_network(6, spacing=100.0)
+        result = run_task(net, FloodingProtocol(), 0, [5])
+        assert result.delivered_hops[5] == 5  # rr=150, spacing 100: 1-hop links.
+
+    def test_does_not_cross_partitions(self):
+        net = network_from_points(
+            [Point(0, 0), Point(100, 0), Point(600, 0)], radio_range=150.0
+        )
+        result = run_task(net, FloodingProtocol(), 0, [2])
+        assert not result.success
+
+    def test_survives_heavy_loss_better_than_gmp(self, dense_network):
+        from repro.routing.gmp import GMPProtocol
+
+        config = EngineConfig(link_loss_rate=0.4, loss_seed=11)
+        flood_ok = gmp_ok = 0
+        for source in range(0, 60, 10):
+            dests = [source + 40, source + 90, source + 140]
+            flood_ok += len(
+                run_task(dense_network, FloodingProtocol(), source, dests,
+                         config=config).delivered_hops
+            )
+            gmp_ok += len(
+                run_task(dense_network, GMPProtocol(), source, dests,
+                         config=config).delivered_hops
+            )
+        assert flood_ok >= gmp_ok
+
+    def test_costs_far_more_energy(self, dense_network):
+        from repro.routing.gmp import GMPProtocol
+
+        flood = run_task(dense_network, FloodingProtocol(), 0, [200])
+        gmp = run_task(dense_network, GMPProtocol(), 0, [200])
+        assert flood.energy_joules > 5 * gmp.energy_joules
+
+    def test_fresh_cache_per_task(self, grid_network):
+        protocol = FloodingProtocol()
+        first = run_task(grid_network, protocol, 0, [99])
+        second = run_task(grid_network, protocol, 0, [99])
+        assert first.success and second.success
+        assert first.transmissions == second.transmissions

@@ -1,0 +1,189 @@
+"""Tests for the GMP protocol (paper Section 4, Figures 7-10)."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point, distance
+from repro.routing.gmp import GMPProtocol
+from repro.routing.pbm import PBMProtocol
+from tests.routing.helpers import network_from_points, packet_for, view_of
+
+
+def figure10_network():
+    """Figure 10's essence: v is void at s, but the group {u, v} is routable.
+
+    s's only neighbor is n; n is farther from v than s is (v is a void
+    destination in the unicast sense) but much closer to u, so the group's
+    total distance still decreases through n.
+    """
+    points = [
+        Point(0, 0),       # 0: s
+        Point(120, 80),    # 1: n (only neighbor of s)
+        Point(200, 150),   # 2: u
+        Point(-100, 250),  # 3: v (no neighbor of s is closer to it)
+    ]
+    return network_from_points(points, radio_range=150.0)
+
+
+def two_branch_network():
+    """Two destination clusters ~110 degrees apart with one lateral neighbor
+    per branch (Figure 9's splitting situation)."""
+
+    def polar(r, deg):
+        return Point(r * math.cos(math.radians(deg)), r * math.sin(math.radians(deg)))
+
+    points = [
+        Point(0, 0),      # 0: s
+        polar(140, 95),   # 1: n1 (upper lateral neighbor)
+        polar(140, -95),  # 2: n2 (lower lateral neighbor)
+        polar(800, 55),   # 3: u (upper branch)
+        polar(810, 52),   # 4: v (upper branch)
+        polar(800, -55),  # 5: c (lower branch)
+        polar(810, -52),  # 6: d (lower branch)
+    ]
+    return network_from_points(points, radio_range=150.0)
+
+
+class TestBasicForwarding:
+    def test_neighbor_destination_direct(self):
+        net = network_from_points([Point(0, 0), Point(100, 0)])
+        decisions = GMPProtocol().handle(view_of(net, 0), packet_for(net, 0, [1]))
+        assert len(decisions) == 1
+        assert decisions[0].next_hop_id == 1
+        assert decisions[0].packet.destination_ids == (1,)
+
+    def test_all_destinations_covered_once(self, dense_network):
+        packet = packet_for(dense_network, 0, [50, 100, 150, 200, 250])
+        decisions = GMPProtocol().handle(view_of(dense_network, 0), packet)
+        forwarded = [d for dec in decisions for d in dec.packet.destination_ids]
+        assert sorted(forwarded) == [50, 100, 150, 200, 250]
+        for dec in decisions:
+            assert dec.next_hop_id in dense_network.neighbors_of(0)
+
+    def test_progress_constraint_holds(self, dense_network):
+        packet = packet_for(dense_network, 0, [60, 120, 180])
+        decisions = GMPProtocol().handle(view_of(dense_network, 0), packet)
+        own = dense_network.location_of(0)
+        for dec in decisions:
+            if dec.packet.in_perimeter_mode:
+                continue
+            hop = dense_network.location_of(dec.next_hop_id)
+            group = [d.location for d in dec.packet.destinations]
+            assert sum(distance(hop, g) for g in group) < sum(
+                distance(own, g) for g in group
+            )
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            GMPProtocol(next_hop_rule="nonsense")
+        with pytest.raises(ValueError):
+            GMPProtocol(perimeter_exit="sometimes")
+
+    def test_names(self):
+        assert GMPProtocol().name == "GMP"
+        assert GMPProtocol(radio_aware=False).name == "GMPnr"
+
+
+class TestSplitting:
+    def test_figure9_splits_towards_lateral_neighbors(self):
+        net = two_branch_network()
+        packet = packet_for(net, 0, [3, 4, 5, 6])
+        decisions = GMPProtocol().handle(view_of(net, 0), packet)
+        greedy = [d for d in decisions if not d.packet.in_perimeter_mode]
+        assert len(greedy) == 2
+        by_hop = {d.next_hop_id: sorted(d.packet.destination_ids) for d in greedy}
+        assert by_hop == {1: [3, 4], 2: [5, 6]}
+
+    def test_figure10_void_destination_joins_group(self):
+        net = figure10_network()
+        packet = packet_for(net, 0, [2, 3])
+        decisions = GMPProtocol().handle(view_of(net, 0), packet)
+        # One greedy copy to n with both destinations, no perimeter mode.
+        assert len(decisions) == 1
+        assert decisions[0].next_hop_id == 1
+        assert sorted(decisions[0].packet.destination_ids) == [2, 3]
+        assert not decisions[0].packet.in_perimeter_mode
+
+    def test_figure10_contrast_pbm_sends_void_to_perimeter(self):
+        # Same situation under PBM: v has no progress neighbor, so it is
+        # forced into perimeter mode (the paper's Section 5.4 contrast).
+        net = figure10_network()
+        packet = packet_for(net, 0, [2, 3])
+        decisions = PBMProtocol().handle(view_of(net, 0), packet)
+        peri = [d for d in decisions if d.packet.in_perimeter_mode]
+        greedy = [d for d in decisions if not d.packet.in_perimeter_mode]
+        assert len(peri) == 1
+        assert peri[0].packet.destination_ids == (3,)
+        assert len(greedy) == 1
+        assert greedy[0].packet.destination_ids == (2,)
+
+
+class TestPerimeter:
+    def test_lone_void_destination_enters_perimeter(self):
+        # s's only neighbor is farther from the destination: perimeter mode.
+        points = [Point(0, 0), Point(100, 0), Point(-120, 200)]
+        net = network_from_points(points, radio_range=150.0)
+        # Destination 2 is not reachable greedily from 0 (neighbor 1 is
+        # farther from it), and node 1 is s's only neighbor.
+        packet = packet_for(net, 0, [2])
+        decisions = GMPProtocol().handle(view_of(net, 0), packet)
+        assert len(decisions) == 1
+        assert decisions[0].packet.in_perimeter_mode
+        state = decisions[0].packet.perimeter
+        assert state.target == net.location_of(2)
+
+    def test_perimeter_packet_keeps_walking_when_not_closer(self):
+        points = [Point(0, 0), Point(100, 0), Point(-120, 200)]
+        net = network_from_points(points, radio_range=150.0)
+        packet = packet_for(net, 0, [2])
+        (entry,) = GMPProtocol().handle(view_of(net, 0), packet)
+        # Node 1 is even farther from the target; it must stay in perimeter
+        # mode (or drop), never clear the flag.
+        follow = GMPProtocol().handle(view_of(net, 1), entry.packet)
+        for dec in follow:
+            assert dec.packet.in_perimeter_mode
+
+    def test_perimeter_exit_when_closer_and_routable(self, dense_network):
+        from repro.packets import PerimeterState
+
+        # Hand-craft a perimeter packet at a node that can greedily reach
+        # the destination and is closer than the (fake) entry point.
+        node = 10
+        dest = dense_network.neighbors_of(node)[0]
+        packet = packet_for(dense_network, 3, [dest]).with_perimeter(
+            packet_for(dense_network, 3, [dest]).destinations,
+            PerimeterState(
+                target=dense_network.location_of(dest),
+                entry_location=Point(0, 0),
+                entry_total_distance=1e9,
+                came_from=dense_network.location_of(
+                    dense_network.neighbors_of(node)[-1]
+                ),
+            ),
+        )
+        decisions = GMPProtocol().handle(view_of(dense_network, node), packet)
+        assert len(decisions) == 1
+        assert not decisions[0].packet.in_perimeter_mode
+
+
+class TestAblations:
+    def test_closest_destination_rule_runs(self, dense_network):
+        proto = GMPProtocol(next_hop_rule="closest-destination")
+        packet = packet_for(dense_network, 0, [50, 100, 150])
+        decisions = proto.handle(view_of(dense_network, 0), packet)
+        covered = sorted(d for dec in decisions for d in dec.packet.destination_ids)
+        assert covered == [50, 100, 150]
+
+    def test_merge_coincident_off_may_duplicate_hops(self, dense_network):
+        proto = GMPProtocol(merge_coincident=False)
+        packet = packet_for(dense_network, 0, [50, 100, 150, 200])
+        decisions = proto.handle(view_of(dense_network, 0), packet)
+        covered = sorted(d for dec in decisions for d in dec.packet.destination_ids)
+        assert covered == [50, 100, 150, 200]
+
+    def test_describe_mentions_options(self):
+        proto = GMPProtocol(next_hop_rule="closest-destination", perimeter_exit="eager")
+        text = proto.describe()
+        assert "closest-destination" in text
+        assert "eager" in text

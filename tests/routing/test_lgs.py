@@ -1,0 +1,111 @@
+"""Tests for LGS and LGK (paper Sections 1, 5.2; Figure 13)."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.routing.lgs import LGKProtocol, LGSProtocol
+from tests.routing.helpers import network_from_points, packet_for, view_of
+
+
+def chain_network():
+    """Figure 13's situation: from node 0, destinations chain away east.
+
+    Relays sit between the destinations so greedy unicast can follow.
+    """
+    points = [
+        Point(0, 0),     # 0: current node c
+        Point(120, 20),  # 1: relay
+        Point(240, 40),  # 2: u (destination)
+        Point(360, 30),  # 3: relay
+        Point(480, 50),  # 4: v (destination)
+        Point(600, 40),  # 5: relay
+        Point(720, 60),  # 6: d (destination)
+    ]
+    return network_from_points(points, radio_range=150.0)
+
+
+class TestLGS:
+    def test_figure13_no_split_single_copy(self):
+        # The MST of {c, u, v, d} is the chain c-u-v-d: LGS sends ONE copy
+        # toward u carrying all three destinations.
+        net = chain_network()
+        packet = packet_for(net, 0, [2, 4, 6])
+        decisions = LGSProtocol().handle(view_of(net, 0), packet)
+        assert len(decisions) == 1
+        assert sorted(decisions[0].packet.destination_ids) == [2, 4, 6]
+        assert decisions[0].packet.subdestination.node_id == 2
+
+    def test_intermediate_node_does_not_resplit(self):
+        # A relay mid-subtree forwards toward the pinned subdestination and
+        # must not re-partition (the defining LGS behaviour the GMP paper
+        # analyses).
+        net = chain_network()
+        packet = packet_for(net, 0, [2, 4, 6])
+        (first,) = LGSProtocol().handle(view_of(net, 0), packet)
+        assert first.next_hop_id == 1
+        (second,) = LGSProtocol().handle(view_of(net, 1), first.packet)
+        assert second.next_hop_id == 2
+        assert second.packet.subdestination.node_id == 2
+        assert sorted(second.packet.destination_ids) == [2, 4, 6]
+
+    def test_subtree_root_repartitions(self):
+        # Once the copy reaches its subdestination (and the engine strips
+        # that node from the list), the root recomputes and re-targets.
+        net = chain_network()
+        packet = packet_for(net, 2, [4, 6])  # At u, u already delivered.
+        (decision,) = LGSProtocol().handle(view_of(net, 2), packet)
+        assert decision.packet.subdestination.node_id == 4
+        assert decision.next_hop_id == 3
+
+    def test_splits_at_source_for_opposite_branches(self):
+        points = [
+            Point(0, 0),
+            Point(120, 0), Point(240, 0),    # east branch
+            Point(-120, 0), Point(-240, 0),  # west branch
+        ]
+        net = network_from_points(points, radio_range=150.0)
+        packet = packet_for(net, 0, [2, 4])
+        decisions = LGSProtocol().handle(view_of(net, 0), packet)
+        assert len(decisions) == 2
+        hops = sorted(d.next_hop_id for d in decisions)
+        assert hops == [1, 3]
+
+    def test_void_group_is_dropped(self):
+        # No recovery: when greedy stalls toward the subtree root, LGS
+        # returns nothing for that group.
+        points = [Point(0, 0), Point(100, 0), Point(-250, 0)]
+        net = network_from_points(points, radio_range=150.0)
+        packet = packet_for(net, 0, [2])
+        assert LGSProtocol().handle(view_of(net, 0), packet) == []
+
+    def test_mid_route_void_drops_copy(self):
+        points = [Point(0, 0), Point(120, 0), Point(400, 0)]
+        net = network_from_points(points, radio_range=150.0)
+        packet = packet_for(net, 0, [2])
+        (first,) = LGSProtocol().handle(view_of(net, 0), packet)
+        # Node 1 has no neighbor closer to node 2 (gap of 280 > range).
+        assert LGSProtocol().handle(view_of(net, 1), first.packet) == []
+
+
+class TestLGK:
+    def test_fanout_bounds_group_count(self, dense_network):
+        proto = LGKProtocol(fanout=2)
+        packet = packet_for(dense_network, 0, [40, 80, 120, 160, 200])
+        decisions = proto.handle(view_of(dense_network, 0), packet)
+        assert 1 <= len(decisions) <= 2
+        covered = sorted(d for dec in decisions for d in dec.packet.destination_ids)
+        assert covered == [40, 80, 120, 160, 200]
+
+    def test_roots_are_nearest_destinations(self):
+        net = chain_network()
+        packet = packet_for(net, 0, [2, 4, 6])
+        decisions = LGKProtocol(fanout=1).handle(view_of(net, 0), packet)
+        assert len(decisions) == 1
+        assert decisions[0].packet.subdestination.node_id == 2
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ValueError):
+            LGKProtocol(fanout=0)
+
+    def test_name_includes_fanout(self):
+        assert LGKProtocol(fanout=3).name == "LGK3"

@@ -1,0 +1,91 @@
+"""Tests for the PBM baseline (Mauve et al.; paper Sections 1, 4.2, 5.4)."""
+
+import pytest
+
+from repro.geometry import Point, distance
+from repro.routing.pbm import PBMProtocol
+from tests.routing.helpers import network_from_points, packet_for, view_of
+
+
+class TestSubsetSelection:
+    def test_single_destination_greedy_like(self):
+        points = [Point(0, 0), Point(120, 0), Point(100, 80), Point(400, 0)]
+        net = network_from_points(points, radio_range=150.0)
+        decisions = PBMProtocol(lam=0.0).handle(view_of(net, 0), packet_for(net, 0, [3]))
+        assert len(decisions) == 1
+        assert decisions[0].next_hop_id == 1  # Closest to the destination.
+
+    def test_lambda_zero_favours_progress(self, dense_network):
+        # With lambda=0 the bandwidth term vanishes: every destination gets
+        # its own closest neighbor (maximal subset of per-dest winners).
+        proto = PBMProtocol(lam=0.0)
+        packet = packet_for(dense_network, 0, [60, 120, 180, 240])
+        decisions = proto.handle(view_of(dense_network, 0), packet)
+        for dec in decisions:
+            hop_loc = dense_network.location_of(dec.next_hop_id)
+            for dest in dec.packet.destinations:
+                # Assigned hop is each destination's nearest subset member;
+                # with lam=0 it must be its globally closest progress
+                # neighbor.
+                best = min(
+                    dense_network.neighbors_of(0),
+                    key=lambda n: distance(
+                        dense_network.location_of(n), dest.location
+                    ),
+                )
+                assert distance(hop_loc, dest.location) <= distance(
+                    dense_network.location_of(best), dest.location
+                ) + 1e-9
+
+    def test_larger_lambda_never_uses_more_hops(self, dense_network):
+        packet = packet_for(dense_network, 0, [60, 120, 180, 240, 280])
+        view = view_of(dense_network, 0)
+        sizes = {}
+        for lam in (0.0, 0.3, 0.6):
+            sizes[lam] = len(PBMProtocol(lam=lam).handle(view, packet))
+        assert sizes[0.6] <= sizes[0.0]
+
+    def test_progress_for_every_routable_destination(self, dense_network):
+        proto = PBMProtocol(lam=0.5)
+        packet = packet_for(dense_network, 7, [33, 66, 99, 132])
+        own = dense_network.location_of(7)
+        for dec in proto.handle(view_of(dense_network, 7), packet):
+            if dec.packet.in_perimeter_mode:
+                continue
+            hop = dense_network.location_of(dec.next_hop_id)
+            for dest in dec.packet.destinations:
+                assert distance(hop, dest.location) < distance(own, dest.location)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PBMProtocol(lam=1.5)
+        with pytest.raises(ValueError):
+            PBMProtocol(candidates_per_destination=0)
+        with pytest.raises(ValueError):
+            PBMProtocol(exact_pool_limit=0)
+        with pytest.raises(ValueError):
+            PBMProtocol(perimeter_exit="never")
+
+    def test_name_includes_lambda(self):
+        assert PBMProtocol(lam=0.4).name == "PBM[l=0.4]"
+
+
+class TestVoidHandling:
+    def test_all_void_destinations_in_one_perimeter_group(self):
+        # Two destinations behind the source with a single forward neighbor:
+        # both are void and PBM groups them into ONE perimeter packet.
+        points = [
+            Point(0, 0), Point(120, 0),
+            Point(-200, 100), Point(-200, -100),
+        ]
+        net = network_from_points(points, radio_range=150.0)
+        decisions = PBMProtocol().handle(view_of(net, 0), packet_for(net, 0, [2, 3]))
+        peri = [d for d in decisions if d.packet.in_perimeter_mode]
+        assert len(peri) == 1
+        assert sorted(peri[0].packet.destination_ids) == [2, 3]
+        # Target is the average of the two void destinations.
+        assert peri[0].packet.perimeter.target == Point(-200, 0)
+
+    def test_isolated_node_drops_everything(self):
+        net = network_from_points([Point(0, 0), Point(999, 999)], radio_range=100)
+        assert PBMProtocol().handle(view_of(net, 0), packet_for(net, 0, [1])) == []

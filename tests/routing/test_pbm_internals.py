@@ -1,0 +1,97 @@
+"""White-box tests for PBM's subset selection machinery."""
+
+import numpy as np
+import pytest
+
+from repro.routing.pbm import PBMProtocol
+
+
+def selection(protocol, dist, own):
+    """Run candidate-pool construction + subset selection on raw matrices."""
+    pool = protocol._candidate_pool(dist, own)
+    subset = protocol._select_subset(dist, own, pool, neighbor_count=dist.shape[0])
+    return pool, subset
+
+
+class TestCandidatePool:
+    def test_pool_only_contains_progress_neighbors(self):
+        protocol = PBMProtocol(candidates_per_destination=2)
+        # 3 neighbors, 2 destinations; neighbor 2 makes no progress at all.
+        dist = np.array([[10.0, 50.0], [40.0, 12.0], [90.0, 95.0]])
+        own = np.array([60.0, 60.0])
+        pool, _ = selection(protocol, dist, own)
+        assert 2 not in pool
+        assert set(pool) <= {0, 1}
+
+    def test_pool_respects_candidates_per_destination(self):
+        protocol = PBMProtocol(candidates_per_destination=1)
+        dist = np.array([[10.0], [20.0], [30.0]])
+        own = np.array([100.0])
+        pool, _ = selection(protocol, dist, own)
+        assert pool == [0]  # Only the single best per destination.
+
+
+class TestSubsetSelection:
+    def test_lambda_zero_takes_per_destination_best(self):
+        protocol = PBMProtocol(lam=0.0)
+        dist = np.array([[10.0, 90.0], [95.0, 12.0], [50.0, 50.0]])
+        own = np.array([100.0, 100.0])
+        _, subset = selection(protocol, dist, own)
+        # With no bandwidth penalty: each destination's closest neighbor.
+        assert set(subset) == {0, 1}
+
+    def test_high_lambda_consolidates(self):
+        protocol = PBMProtocol(lam=0.9)
+        # A middle neighbor serves both destinations nearly as well as the
+        # two specialists; heavy bandwidth weighting should pick just it.
+        dist = np.array([[10.0, 90.0], [90.0, 10.0], [20.0, 20.0]])
+        own = np.array([100.0, 100.0])
+        _, subset = selection(protocol, dist, own)
+        assert subset == [2]
+
+    def test_every_destination_covered_with_progress(self):
+        rng = np.random.default_rng(3)
+        protocol = PBMProtocol(lam=0.4)
+        for _ in range(20):
+            m, n = 12, 5
+            own = rng.uniform(200, 400, size=n)
+            dist = rng.uniform(50, 500, size=(m, n))
+            # Guarantee at least one progress neighbor per destination.
+            for z in range(n):
+                dist[rng.integers(0, m), z] = own[z] * 0.5
+            pool, subset = selection(protocol, dist, own)
+            assert subset, "subset must never be empty"
+            mins = dist[np.asarray(subset)].min(axis=0)
+            assert (mins < own).all(), "some destination lost progress"
+
+    def test_greedy_descent_path_used_for_large_pools(self):
+        # Force the greedy branch with a tiny exact limit.
+        protocol = PBMProtocol(lam=0.3, exact_pool_limit=1,
+                               candidates_per_destination=2)
+        rng = np.random.default_rng(5)
+        m, n = 10, 6
+        own = rng.uniform(300, 400, size=n)
+        dist = rng.uniform(100, 290, size=(m, n))
+        pool, subset = selection(protocol, dist, own)
+        assert len(pool) > 1  # The exact branch could not have been used.
+        mins = dist[np.asarray(subset)].min(axis=0)
+        assert (mins < own).all()
+
+    def test_exact_beats_or_matches_greedy(self):
+        # On small pools the exhaustive search must never be worse than the
+        # greedy descent under the same objective.
+        rng = np.random.default_rng(8)
+        for _ in range(10):
+            m, n = 8, 4
+            own = rng.uniform(300, 400, size=n)
+            dist = rng.uniform(100, 290, size=(m, n))
+            exact_proto = PBMProtocol(lam=0.3, exact_pool_limit=10)
+            greedy_proto = PBMProtocol(lam=0.3, exact_pool_limit=1)
+
+            def score(subset):
+                mins = dist[np.asarray(subset)].min(axis=0)
+                return 0.3 * len(subset) / m + 0.7 * mins.sum() / own.sum()
+
+            _, exact = selection(exact_proto, dist, own)
+            _, greedy = selection(greedy_proto, dist, own)
+            assert score(exact) <= score(greedy) + 1e-12

@@ -1,0 +1,109 @@
+"""Tests for GPSR-style perimeter forwarding (paper Section 4.1)."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.packets import Destination
+from repro.routing.perimeter import enter_perimeter, perimeter_next_hop
+from tests.routing.helpers import network_from_points, view_of
+
+
+def ring_with_void():
+    """A ring of relay nodes around a central void, plus entry/exit spurs.
+
+    Node 0 sits west of the void, the target area east; greedy would want
+    to go straight through the (empty) middle.
+    """
+    points = [
+        Point(0, 200),     # 0: entry node (west)
+        Point(80, 320),    # 1: ring, north-west
+        Point(200, 380),   # 2: ring, north
+        Point(320, 320),   # 3: ring, north-east
+        Point(400, 200),   # 4: ring, east
+        Point(320, 80),    # 5: ring, south-east
+        Point(200, 20),    # 6: ring, south
+        Point(80, 80),     # 7: ring, south-west
+        Point(540, 200),   # 8: target destination (east of the ring)
+    ]
+    return network_from_points(points, radio_range=150.0)
+
+
+class TestEnterPerimeter:
+    def test_state_fields(self):
+        net = ring_with_void()
+        view = view_of(net, 0)
+        group = [Destination(8, net.location_of(8))]
+        state = enter_perimeter(view, group)
+        assert state.target == net.location_of(8)
+        assert state.entry_location == view.location
+        assert state.entry_total_distance == pytest.approx(540.0)
+        assert state.came_from is None
+
+    def test_average_of_multiple_destinations(self):
+        net = ring_with_void()
+        view = view_of(net, 0)
+        group = [
+            Destination(4, net.location_of(4)),
+            Destination(8, net.location_of(8)),
+        ]
+        state = enter_perimeter(view, group)
+        assert state.target.x == pytest.approx((400 + 540) / 2)
+
+    def test_empty_group_rejected(self):
+        net = ring_with_void()
+        with pytest.raises(ValueError):
+            enter_perimeter(view_of(net, 0), [])
+
+
+class TestWalk:
+    def test_reaches_far_side_of_void(self):
+        # Walk the ring with the right-hand rule until a node closer to the
+        # target than the entry point is reached.
+        net = ring_with_void()
+        view = view_of(net, 0)
+        target = Destination(8, net.location_of(8))
+        state = enter_perimeter(view, [target])
+        current = 0
+        visited = [0]
+        for _ in range(12):
+            step = perimeter_next_hop(view_of(net, current), state)
+            assert step is not None, f"walk died at node {current}"
+            current, state = step
+            visited.append(current)
+            if current == 4:
+                break
+        # The walk must reach node 4, the only node adjacent to the target.
+        assert 4 in visited
+
+    def test_unreachable_target_detected(self):
+        # Two isolated nodes plus a target position outside the component:
+        # the walk must eventually return None (face toured) rather than
+        # loop forever.
+        points = [Point(0, 0), Point(100, 0), Point(50, 80)]
+        net = network_from_points(points, radio_range=150.0)
+        view = view_of(net, 0)
+        state = enter_perimeter(view, [Destination(99, Point(5000, 5000))])
+        current, steps = 0, 0
+        while steps < 20:
+            step = perimeter_next_hop(view_of(net, current), state)
+            if step is None:
+                break
+            current, state = step
+            steps += 1
+        assert steps < 20, "perimeter walk failed to detect an unreachable target"
+
+    def test_isolated_node_returns_none(self):
+        net = network_from_points([Point(0, 0), Point(900, 900)], radio_range=100)
+        view = view_of(net, 0)
+        state = enter_perimeter(view, [Destination(1, Point(900, 900))])
+        assert perimeter_next_hop(view, state) is None
+
+    def test_state_advances_came_from(self):
+        net = ring_with_void()
+        view = view_of(net, 0)
+        state = enter_perimeter(view, [Destination(8, net.location_of(8))])
+        step = perimeter_next_hop(view, state)
+        assert step is not None
+        _, new_state = step
+        assert new_state.came_from == view.location
+        assert new_state.first_edge is not None

@@ -1,0 +1,99 @@
+"""Tests for the SMT (centralized KMB) and GRD (greedy unicast) baselines."""
+
+import pytest
+
+from repro.geometry import Point, distance
+from repro.routing.grd import GRDProtocol
+from repro.routing.smt import SMTProtocol
+from tests.conftest import make_line_network
+from tests.routing.helpers import network_from_points, packet_for, view_of
+
+
+class TestSMT:
+    def test_requires_preparation(self):
+        net = make_line_network(3, spacing=100.0)
+        proto = SMTProtocol()
+        with pytest.raises(RuntimeError):
+            proto.handle(view_of(net, 0), packet_for(net, 0, [2]))
+
+    def test_forwards_along_tree(self):
+        net = make_line_network(5, spacing=100.0)
+        proto = SMTProtocol()
+        proto.prepare_task(net, 0, (4,))
+        packet = packet_for(net, 0, [4])
+        (decision,) = proto.handle(view_of(net, 0), packet)
+        assert decision.next_hop_id == 1
+        assert decision.packet.destination_ids == (4,)
+
+    def test_branches_carry_their_subtree_destinations(self):
+        # A cross: center 0, arms east (1,2) and west (3,4).
+        points = [
+            Point(0, 0),
+            Point(100, 0), Point(200, 0),
+            Point(-100, 0), Point(-200, 0),
+        ]
+        net = network_from_points(points, radio_range=150.0)
+        proto = SMTProtocol()
+        proto.prepare_task(net, 0, (2, 4))
+        decisions = proto.handle(view_of(net, 0), packet_for(net, 0, [2, 4]))
+        by_hop = {d.next_hop_id: d.packet.destination_ids for d in decisions}
+        assert by_hop == {1: (2,), 3: (4,)}
+
+    def test_skips_branches_with_nothing_left(self):
+        points = [
+            Point(0, 0),
+            Point(100, 0), Point(200, 0),
+            Point(-100, 0), Point(-200, 0),
+        ]
+        net = network_from_points(points, radio_range=150.0)
+        proto = SMTProtocol()
+        proto.prepare_task(net, 0, (2, 4))
+        # Destination 4 already served: only the east branch remains.
+        decisions = proto.handle(view_of(net, 0), packet_for(net, 0, [2]))
+        assert [d.next_hop_id for d in decisions] == [1]
+
+    def test_metric_validation(self):
+        with pytest.raises(ValueError):
+            SMTProtocol(metric="latency")
+
+    def test_hop_metric_uses_fewer_edges(self):
+        # Two routes from 0 to 3: a straight 3-hop chain of length 300 and
+        # a slightly longer 2-hop route through an off-line relay.  The
+        # distance metric picks the chain; the hop metric picks the relay.
+        points = [
+            Point(0, 0),       # 0: source
+            Point(100, 0),     # 1: chain relay
+            Point(200, 0),     # 2: chain relay
+            Point(300, 0),     # 3: destination
+            Point(150, 5),     # 4: off-line shortcut relay
+        ]
+        net = network_from_points(points, radio_range=160.0)
+        by_distance = SMTProtocol(metric="distance")
+        by_distance.prepare_task(net, 0, (3,))
+        by_hops = SMTProtocol(metric="hops")
+        by_hops.prepare_task(net, 0, (3,))
+        dist_edges = sum(len(c) for c in by_distance._schedule.values())
+        hop_edges = sum(len(c) for c in by_hops._schedule.values())
+        assert hop_edges == 2
+        assert dist_edges == 3
+
+
+class TestGRD:
+    def test_one_copy_per_destination(self, dense_network):
+        packet = packet_for(dense_network, 0, [50, 100, 150])
+        decisions = GRDProtocol().handle(view_of(dense_network, 0), packet)
+        assert len(decisions) == 3
+        assert all(len(d.packet.destinations) == 1 for d in decisions)
+
+    def test_greedy_progress(self):
+        net = make_line_network(5, spacing=100.0)
+        decisions = GRDProtocol().handle(view_of(net, 0), packet_for(net, 0, [4]))
+        assert [d.next_hop_id for d in decisions] == [1]
+
+    def test_void_drops_silently(self):
+        net = network_from_points([Point(0, 0), Point(100, 0), Point(-250, 0)], 150.0)
+        assert GRDProtocol().handle(view_of(net, 0), packet_for(net, 0, [2])) == []
+
+    def test_does_not_aggregate_frames(self):
+        assert GRDProtocol().aggregates_copies is False
+        assert SMTProtocol().aggregates_copies is True

@@ -1,0 +1,53 @@
+"""Tests for seeded random-stream management."""
+
+from repro.simkit import RandomStreams, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "topology", 3) == derive_seed(42, "topology", 3)
+
+    def test_label_sensitivity(self):
+        assert derive_seed(42, "topology", 3) != derive_seed(42, "topology", 4)
+        assert derive_seed(42, "topology") != derive_seed(42, "workload")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_fits_in_63_bits(self):
+        for seed in (0, 1, 2**62, 123456789):
+            assert 0 <= derive_seed(seed, "label") < 2**63
+
+
+class TestRandomStreams:
+    def test_same_label_same_stream_object(self):
+        streams = RandomStreams(7)
+        assert streams.stream("a", 1) is streams.stream("a", 1)
+
+    def test_reproducible_across_instances(self):
+        a = RandomStreams(7).stream("workload", 0).uniform(size=5)
+        b = RandomStreams(7).stream("workload", 0).uniform(size=5)
+        assert (a == b).all()
+
+    def test_streams_are_independent(self):
+        streams = RandomStreams(7)
+        first = streams.stream("a").uniform(size=5)
+        second = streams.stream("b").uniform(size=5)
+        assert not (first == second).all()
+
+    def test_new_consumer_does_not_perturb_existing(self):
+        # Drawing from a new stream must not change another stream's output.
+        solo = RandomStreams(7)
+        solo_values = solo.stream("x").uniform(size=5)
+
+        mixed = RandomStreams(7)
+        mixed.stream("intruder").uniform(size=100)
+        mixed_values = mixed.stream("x").uniform(size=5)
+        assert (solo_values == mixed_values).all()
+
+    def test_fork_derives_new_family(self):
+        parent = RandomStreams(7)
+        child = parent.fork("phase2")
+        assert child.master_seed != parent.master_seed
+        again = RandomStreams(7).fork("phase2")
+        assert child.master_seed == again.master_seed

@@ -1,0 +1,127 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.simkit import EventScheduler, SimulationError, Simulator
+
+
+class TestEventScheduler:
+    def test_orders_by_time(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(2.0, lambda: fired.append("b"))
+        sched.schedule(1.0, lambda: fired.append("a"))
+        sched.schedule(3.0, lambda: fired.append("c"))
+        while (event := sched.pop_next()) is not None:
+            event.action()
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_for_simultaneous_events(self):
+        sched = EventScheduler()
+        fired = []
+        for tag in ("first", "second", "third"):
+            sched.schedule(5.0, lambda t=tag: fired.append(t))
+        while (event := sched.pop_next()) is not None:
+            event.action()
+        assert fired == ["first", "second", "third"]
+
+    def test_cancellation(self):
+        sched = EventScheduler()
+        keep = sched.schedule(1.0, lambda: None, label="keep")
+        drop = sched.schedule(2.0, lambda: None, label="drop")
+        sched.cancel(drop)
+        assert len(sched) == 1
+        assert sched.pop_next() is keep
+        assert sched.pop_next() is None
+
+    def test_peek_skips_cancelled(self):
+        sched = EventScheduler()
+        drop = sched.schedule(1.0, lambda: None)
+        sched.schedule(2.0, lambda: None)
+        sched.cancel(drop)
+        assert sched.peek_time() == 2.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventScheduler().schedule(-1.0, lambda: None)
+
+
+class TestSimulator:
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(1.5, lambda: seen.append(sim.now))
+        sim.schedule_at(4.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5, 4.0]
+        assert sim.now == 4.0
+
+    def test_schedule_after_accumulates(self):
+        sim = Simulator()
+        times = []
+
+        def chain(depth):
+            times.append(sim.now)
+            if depth:
+                sim.schedule_after(1.0, lambda: chain(depth - 1))
+
+        sim.schedule_at(0.0, lambda: chain(3))
+        sim.run()
+        assert times == [0.0, 1.0, 2.0, 3.0]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.schedule_at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_after(-0.1, lambda: None)
+
+    def test_run_until_leaves_later_events_queued(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.pending_events == 1
+        assert sim.now == 5.0
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def rescheduler():
+            sim.schedule_after(1.0, rescheduler)
+
+        sim.schedule_at(0.0, rescheduler)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule_at(t, lambda: None)
+        sim.run()
+        assert sim.events_processed == 3
+
+    def test_cancel_scheduled_event(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule_at(1.0, lambda: fired.append("no"))
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+    def test_reset(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.pending_events == 0
+        sim.schedule_at(0.5, lambda: None)
+        sim.run()
+        assert sim.now == 0.5

@@ -1,0 +1,90 @@
+"""Tests for the exact small-instance Steiner oracle."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Point, distance
+from repro.steiner import rrstr
+from repro.steiner.exact import optimal_steiner_length
+from repro.steiner.mst import euclidean_mst
+
+coords = st.floats(min_value=0, max_value=1000, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestKnownOptima:
+    def test_two_points(self):
+        assert optimal_steiner_length([Point(0, 0), Point(3, 4)]) == pytest.approx(5.0)
+
+    def test_three_points_equilateral(self):
+        # Unit equilateral triangle: SMT length is sqrt(3).
+        pts = [Point(0, 0), Point(1, 0), Point(0.5, math.sqrt(3) / 2)]
+        assert optimal_steiner_length(pts) == pytest.approx(math.sqrt(3), abs=1e-9)
+
+    def test_unit_square(self):
+        # Classic: the SMT of a unit square has length 1 + sqrt(3).
+        pts = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)]
+        assert optimal_steiner_length(pts) == pytest.approx(1 + math.sqrt(3), abs=1e-6)
+
+    def test_collinear_four(self):
+        pts = [Point(0, 0), Point(1, 0), Point(2, 0), Point(3, 0)]
+        assert optimal_steiner_length(pts) == pytest.approx(3.0, abs=1e-9)
+
+    def test_degenerate_duplicates(self):
+        pts = [Point(0, 0), Point(0, 0), Point(1, 0)]
+        assert optimal_steiner_length(pts) == pytest.approx(1.0)
+
+    def test_single_point(self):
+        assert optimal_steiner_length([Point(5, 5)]) == 0.0
+
+    def test_too_many_points_rejected(self):
+        pts = [Point(i, 0) for i in range(5)]
+        with pytest.raises(ValueError):
+            optimal_steiner_length(pts)
+
+
+class TestBounds:
+    @given(points, points, points, points)
+    @settings(max_examples=100, deadline=None)
+    def test_never_longer_than_mst(self, a, b, c, d):
+        pts = [a, b, c, d]
+        opt = optimal_steiner_length(pts)
+        mst = euclidean_mst(a, [(1, b), (2, c), (3, d)]).total_length()
+        assert opt <= mst + 1e-6 * max(1.0, mst)
+
+    @given(points, points, points, points)
+    @settings(max_examples=100, deadline=None)
+    def test_steiner_ratio(self, a, b, c, d):
+        # The Gilbert–Pollak bound: MST <= (2/sqrt(3)) * SMT.
+        pts = [a, b, c, d]
+        opt = optimal_steiner_length(pts)
+        mst = euclidean_mst(a, [(1, b), (2, c), (3, d)]).total_length()
+        assert mst <= opt * (2 / math.sqrt(3)) + 1e-6 * max(1.0, opt)
+
+
+class TestRRStrOptimalityGap:
+    def test_rrstr_within_ten_percent_on_small_instances(self):
+        rng = np.random.default_rng(20)
+        gaps = []
+        for _ in range(60):
+            source = Point(*rng.uniform(0, 1000, 2))
+            dests = [(i, Point(*rng.uniform(0, 1000, 2))) for i in range(3)]
+            opt = optimal_steiner_length([source] + [loc for _, loc in dests])
+            if opt < 1e-9:
+                continue
+            tree = rrstr(source, dests, 150.0)
+            gaps.append(tree.total_length() / opt)
+        assert max(gaps) < 1.25
+        assert sum(gaps) / len(gaps) < 1.08
+
+    def test_rrstr_never_beats_optimal(self):
+        rng = np.random.default_rng(21)
+        for _ in range(40):
+            source = Point(*rng.uniform(0, 1000, 2))
+            dests = [(i, Point(*rng.uniform(0, 1000, 2))) for i in range(3)]
+            opt = optimal_steiner_length([source] + [loc for _, loc in dests])
+            tree = rrstr(source, dests, 150.0)
+            assert tree.total_length() >= opt - 1e-6

@@ -1,0 +1,128 @@
+"""Tests for the Kou-Markowsky-Berman graph Steiner heuristic (SMT)."""
+
+import networkx as nx
+import pytest
+
+from repro.steiner import kmb_steiner_tree
+from repro.steiner.kmb import tree_as_routing_schedule, tree_depths
+
+
+def weighted_path_graph(n, weight=1.0):
+    graph = nx.Graph()
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1, weight=weight)
+    return graph
+
+
+class TestKMB:
+    def test_path_graph(self):
+        graph = weighted_path_graph(6)
+        tree = kmb_steiner_tree(graph, [0, 5])
+        assert tree.number_of_edges() == 5
+
+    def test_prunes_useless_branches(self):
+        # A star with extra arms: only the terminal arms survive.
+        graph = nx.Graph()
+        for leaf in (1, 2, 3, 4):
+            graph.add_edge(0, leaf, weight=1.0)
+        tree = kmb_steiner_tree(graph, [1, 2])
+        assert set(tree.nodes()) == {0, 1, 2}
+
+    def test_single_terminal(self):
+        graph = weighted_path_graph(3)
+        tree = kmb_steiner_tree(graph, [1])
+        assert set(tree.nodes()) == {1}
+        assert tree.number_of_edges() == 0
+
+    def test_is_tree_and_spans_terminals(self):
+        graph = nx.grid_2d_graph(5, 5)
+        graph = nx.convert_node_labels_to_integers(graph)
+        for u, v in graph.edges():
+            graph[u][v]["weight"] = 1.0
+        terminals = [0, 12, 24, 4]
+        tree = kmb_steiner_tree(graph, terminals)
+        assert nx.is_tree(tree)
+        assert all(t in tree for t in terminals)
+
+    def test_approximation_bound(self):
+        # KMB is a 2(1 - 1/L) approximation; check against brute force on a
+        # small instance.
+        graph = nx.Graph()
+        edges = [
+            (0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 4, 2.5),
+            (4, 3, 2.5), (1, 4, 1.2), (2, 4, 1.2),
+        ]
+        for u, v, w in edges:
+            graph.add_edge(u, v, weight=w)
+        terminals = [0, 3, 4]
+        tree = kmb_steiner_tree(graph, terminals)
+        kmb_weight = sum(d["weight"] for _, _, d in tree.edges(data=True))
+
+        best = float("inf")
+        import itertools
+
+        nodes = list(graph.nodes())
+        for r in range(len(terminals), len(nodes) + 1):
+            for subset in itertools.combinations(nodes, r):
+                if not set(terminals) <= set(subset):
+                    continue
+                sub = graph.subgraph(subset)
+                if not nx.is_connected(sub):
+                    continue
+                mst_w = sum(
+                    d["weight"]
+                    for _, _, d in nx.minimum_spanning_edges(sub, data=True)
+                )
+                best = min(best, mst_w)
+        assert kmb_weight <= 2.0 * best + 1e-9
+
+    def test_missing_terminal_rejected(self):
+        with pytest.raises(ValueError):
+            kmb_steiner_tree(weighted_path_graph(3), [0, 99])
+
+    def test_disconnected_terminals_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=1.0)
+        graph.add_edge(2, 3, weight=1.0)
+        with pytest.raises(ValueError):
+            kmb_steiner_tree(graph, [0, 3])
+
+    def test_no_terminals_rejected(self):
+        with pytest.raises(ValueError):
+            kmb_steiner_tree(weighted_path_graph(3), [])
+
+    def test_hop_metric_changes_tree(self):
+        # Two routes between terminals: one with 2 long edges, one with 3
+        # short edges.  Distance metric picks the short edges; hop metric
+        # picks the 2-edge route.
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=10.0)
+        graph.add_edge(1, 5, weight=10.0)
+        graph.add_edge(0, 2, weight=4.0)
+        graph.add_edge(2, 3, weight=4.0)
+        graph.add_edge(3, 5, weight=4.0)
+        by_distance = kmb_steiner_tree(graph, [0, 5])
+        by_hops = kmb_steiner_tree(graph, [0, 5], weight=lambda u, v, d: 1.0)
+        assert by_distance.number_of_edges() == 3
+        assert by_hops.number_of_edges() == 2
+
+
+class TestRoutingSchedule:
+    def test_orients_away_from_root(self):
+        graph = weighted_path_graph(4)
+        tree = kmb_steiner_tree(graph, [0, 3])
+        schedule = tree_as_routing_schedule(tree, 0)
+        assert schedule[0] == (1,)
+        assert schedule[1] == (2,)
+        assert schedule[3] == ()
+
+    def test_depths(self):
+        graph = weighted_path_graph(5)
+        tree = kmb_steiner_tree(graph, [0, 4])
+        assert tree_depths(tree, 0, [4]) == {4: 4}
+
+    def test_root_not_in_tree_rejected(self):
+        graph = weighted_path_graph(3)
+        tree = kmb_steiner_tree(graph, [0, 2])
+        with pytest.raises(ValueError):
+            tree_as_routing_schedule(tree, 99)

@@ -1,0 +1,88 @@
+"""Tests for the Euclidean MST used by LGS."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Point, distance
+from repro.steiner import euclidean_mst
+
+coords = st.floats(min_value=0, max_value=1000, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+dest_lists = st.lists(points, min_size=1, max_size=10).map(
+    lambda locs: [(i, loc) for i, loc in enumerate(locs)]
+)
+
+
+class TestStructure:
+    def test_empty(self):
+        tree = euclidean_mst(Point(0, 0), [])
+        assert len(tree) == 1
+
+    def test_single_destination(self):
+        tree = euclidean_mst(Point(0, 0), [(5, Point(3, 4))])
+        assert tree.total_length() == pytest.approx(5.0)
+        assert tree.pivots() == (1,)
+
+    def test_chain_topology(self):
+        # Collinear points: the MST is the path through them.
+        dests = [(i, Point(100.0 * (i + 1), 0)) for i in range(4)]
+        tree = euclidean_mst(Point(0, 0), dests)
+        assert tree.total_length() == pytest.approx(400.0)
+        assert len(tree.pivots()) == 1
+
+    def test_figure13_sequential_chain(self):
+        # The paper's Figure 13: from c, the MST of {c, u, v, d} is the
+        # chain c-u-v-d, so LGS will not split.
+        c = Point(0, 0)
+        u = Point(120, 40)
+        v = Point(240, 30)
+        d = Point(380, 60)
+        tree = euclidean_mst(c, [(1, u), (2, v), (3, d)])
+        assert len(tree.pivots()) == 1
+        # Path structure: each vertex has at most one child.
+        for vertex in tree.vertices():
+            assert len(tree.children_of(vertex.vid)) <= 1
+
+    @given(dest_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_spans_everything(self, dests):
+        tree = euclidean_mst(Point(500, 500), dests)
+        assert tree.is_spanning()
+        assert sorted(v.ref for v in tree.vertices() if v.is_terminal) == sorted(
+            r for r, _ in dests
+        )
+
+    @given(dest_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_no_virtual_vertices(self, dests):
+        tree = euclidean_mst(Point(500, 500), dests)
+        assert not any(v.is_virtual for v in tree.vertices())
+
+
+class TestOptimality:
+    @given(dest_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_networkx_mst_weight(self, dests):
+        source = Point(500, 500)
+        tree = euclidean_mst(source, dests)
+        graph = nx.Graph()
+        locations = {0: source}
+        for i, (_, loc) in enumerate(dests, start=1):
+            locations[i] = loc
+        for a in locations:
+            for b in locations:
+                if a < b:
+                    graph.add_edge(a, b, weight=distance(locations[a], locations[b]))
+        expected = sum(
+            d["weight"] for _, _, d in nx.minimum_spanning_edges(graph, data=True)
+        )
+        assert tree.total_length() == pytest.approx(expected, rel=1e-9)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(5)
+        dests = [(i, Point(*rng.uniform(0, 1000, 2))) for i in range(8)]
+        assert euclidean_mst(Point(0, 0), dests).edges() == euclidean_mst(
+            Point(0, 0), dests
+        ).edges()

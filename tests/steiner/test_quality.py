@@ -1,0 +1,99 @@
+"""Tests for the tree-quality analytics."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point
+from repro.steiner import (
+    RRStrConfig,
+    compare_with_mst,
+    euclidean_mst,
+    mean_length_ratio,
+    rrstr,
+    tree_stretch,
+)
+from repro.steiner.quality import root_path_length
+
+
+def random_instance(rng, k=10):
+    source = Point(*rng.uniform(0, 1000, 2))
+    dests = [(i, Point(*rng.uniform(0, 1000, 2))) for i in range(k)]
+    return source, dests
+
+
+class TestRootPathLength:
+    def test_chain(self):
+        tree = euclidean_mst(
+            Point(0, 0), [(1, Point(100, 0)), (2, Point(200, 0))]
+        )
+        deepest = next(v.vid for v in tree.vertices() if v.ref == 2)
+        assert root_path_length(tree, deepest) == pytest.approx(200.0)
+
+    def test_detached_raises(self):
+        from repro.steiner.tree import SteinerTree
+
+        tree = SteinerTree(Point(0, 0))
+        vid = tree.add_terminal(Point(1, 1), ref=1)
+        with pytest.raises(ValueError):
+            root_path_length(tree, vid)
+
+
+class TestStretch:
+    def test_star_has_unit_stretch(self):
+        tree = euclidean_mst(
+            Point(0, 0), [(1, Point(300, 0)), (2, Point(-300, 0))]
+        )
+        stats = tree_stretch(tree)
+        assert stats.mean == pytest.approx(1.0)
+        assert stats.maximum == pytest.approx(1.0)
+        assert stats.terminal_count == 2
+
+    def test_detour_increases_stretch(self):
+        # Chain 0 -> far -> near-ish off axis: the second terminal's path
+        # goes through the first.
+        tree = euclidean_mst(
+            Point(0, 0), [(1, Point(300, 0)), (2, Point(320, 150))]
+        )
+        stats = tree_stretch(tree)
+        assert stats.maximum > 1.0
+
+    def test_refined_rrstr_respects_stretch_budget_on_average(self):
+        rng = np.random.default_rng(3)
+        config = RRStrConfig(refine_max_stretch=1.05)
+        means = []
+        for _ in range(30):
+            source, dests = random_instance(rng, k=12)
+            tree = rrstr(source, dests, 150.0, config)
+            means.append(tree_stretch(tree).mean)
+        # The guard bounds *accepted re-parent moves*; combined with the
+        # greedy construction the average terminal stretch stays modest.
+        assert sum(means) / len(means) < 1.35
+
+
+class TestComparison:
+    def test_report_fields(self):
+        rng = np.random.default_rng(8)
+        source, dests = random_instance(rng)
+        report = compare_with_mst(source, dests, 150.0)
+        assert report.rrstr_length > 0
+        assert report.mst_length > 0
+        assert 0.5 < report.length_ratio < 1.5
+        assert report.rrstr_stretch.terminal_count == 10
+        assert report.virtual_vertex_count >= 0
+
+    def test_mean_length_ratio_near_one(self):
+        rng = np.random.default_rng(9)
+        instances = [random_instance(rng, k=12) for _ in range(25)]
+        ratio = mean_length_ratio(instances, 150.0)
+        assert 0.9 < ratio < 1.12
+
+    def test_mean_length_ratio_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_length_ratio([], 150.0)
+
+    def test_unrefined_is_longer_on_average(self):
+        rng = np.random.default_rng(10)
+        instances = [random_instance(rng, k=12) for _ in range(20)]
+        refined = mean_length_ratio(instances, 150.0, RRStrConfig(refine=True))
+        raw = mean_length_ratio(instances, 150.0, RRStrConfig(refine=False))
+        assert refined < raw

@@ -1,0 +1,233 @@
+"""Tests for the rrSTR heuristic (paper Section 3, Figures 3-6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Point, distance
+from repro.steiner import RRStrConfig, rrstr
+from repro.steiner.mst import euclidean_mst
+from repro.steiner.rrstr import refine_tree
+
+RAW_BASIC = RRStrConfig(radio_aware=False, refine=False)
+RAW_AWARE = RRStrConfig(radio_aware=True, refine=False)
+
+coords = st.floats(min_value=0, max_value=1000, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+dest_lists = st.lists(points, min_size=1, max_size=12).map(
+    lambda locs: [(i, loc) for i, loc in enumerate(locs)]
+)
+
+
+def star_length(source, destinations):
+    return sum(distance(source, loc) for _, loc in destinations)
+
+
+def terminal_refs(tree):
+    return sorted(v.ref for v in tree.vertices() if v.is_terminal)
+
+
+class TestBasicStructure:
+    def test_empty_destinations(self):
+        tree = rrstr(Point(0, 0), [], 150.0)
+        assert len(tree) == 1
+        assert tree.pivots() == ()
+
+    def test_single_destination_direct_edge(self):
+        tree = rrstr(Point(0, 0), [(7, Point(400, 0))], 150.0)
+        assert terminal_refs(tree) == [7]
+        assert tree.is_spanning()
+        assert tree.total_length() == pytest.approx(400.0)
+
+    def test_invalid_radio_range(self):
+        with pytest.raises(ValueError):
+            rrstr(Point(0, 0), [(1, Point(1, 1))], 0.0)
+
+    def test_close_far_pair_shares_trunk(self):
+        # Two destinations far from the source and near each other must be
+        # merged under a shared virtual destination (Observation 1).
+        s = Point(0, 0)
+        dests = [(1, Point(800, 40)), (2, Point(800, -40))]
+        tree = rrstr(s, dests, 150.0, RAW_BASIC)
+        virtuals = [v for v in tree.vertices() if v.is_virtual]
+        assert len(virtuals) == 1
+        w = virtuals[0]
+        assert set(tree.children_of(w.vid)) == {1, 2}
+        # The tree must beat two independent spokes.
+        assert tree.total_length() < star_length(s, dests) - 1.0
+
+    def test_opposite_destinations_attach_directly(self):
+        # Steiner point of an angle >= 120 degrees pair is the source: both
+        # destinations hang straight off the root.
+        s = Point(0, 0)
+        tree = rrstr(s, [(1, Point(500, 0)), (2, Point(-500, 0))], 150.0, RAW_BASIC)
+        assert set(tree.pivots()) == {1, 2}
+        assert tree.total_length() == pytest.approx(1000.0)
+
+    def test_figure4_walkthrough_topology(self):
+        # The paper's Figure 4: far pair (u, v) merges first under w1, then
+        # (w1, d) under w2, then c chains toward w2, and finally s-c.
+        s = Point(0, 0)
+        c = Point(140, 30)
+        d = Point(380, 20)
+        u = Point(620, 110)
+        v = Point(650, 30)
+        tree = rrstr(
+            s, [(1, c), (2, d), (3, u), (4, v)], 150.0, RAW_BASIC
+        )
+        assert tree.is_spanning()
+        # u and v share a virtual parent.
+        u_vid = next(x.vid for x in tree.vertices() if x.ref == 3)
+        v_vid = next(x.vid for x in tree.vertices() if x.ref == 4)
+        assert tree.parent_of(u_vid) == tree.parent_of(v_vid)
+        assert tree.vertex(tree.parent_of(u_vid)).is_virtual
+
+
+class TestRadioRangeRules:
+    def test_both_in_range_attach_directly(self):
+        # Both destinations one hop away: no virtual detour (Section 3.3).
+        s = Point(0, 0)
+        dests = [(1, Point(100, 20)), (2, Point(100, -20))]
+        tree = rrstr(s, dests, 150.0, RAW_AWARE)
+        assert set(tree.pivots()) == {1, 2}
+        assert not any(v.is_virtual for v in tree.vertices())
+
+    def test_basic_variant_creates_virtual_in_range(self):
+        # Without radio awareness the same pair gets a (redundant) virtual.
+        s = Point(0, 0)
+        dests = [(1, Point(100, 20)), (2, Point(100, -20))]
+        tree = rrstr(s, dests, 150.0, RAW_BASIC)
+        assert any(v.is_virtual for v in tree.vertices())
+
+    def test_one_in_range_chains_when_beneficial(self):
+        # u within range, v far beyond and roughly behind u: u plays the
+        # Steiner point, giving the chain s -> u -> v.
+        s = Point(0, 0)
+        u = Point(140, 0)
+        v = Point(600, 30)
+        tree = rrstr(s, [(1, u), (2, v)], 150.0, RAW_AWARE)
+        v_vid = next(x.vid for x in tree.vertices() if x.ref == 2)
+        u_vid = next(x.vid for x in tree.vertices() if x.ref == 1)
+        assert tree.parent_of(v_vid) == u_vid
+
+    def test_one_in_range_not_beneficial_pair_dies(self):
+        # u in range but v off at a wide angle: no sharing is worth a hop;
+        # the pseudocode deactivates the pair and both attach via other
+        # means (here, directly to the source).
+        s = Point(0, 0)
+        u = Point(100, 0)
+        v = Point(100, 500)
+        tree = rrstr(s, [(1, u), (2, v)], 150.0, RAW_AWARE)
+        assert set(tree.pivots()) == {1, 2}
+
+    def test_prose_variant_also_spans(self):
+        cfg = RRStrConfig(radio_aware=True, prose_one_in_range_rule=True, refine=False)
+        s = Point(0, 0)
+        dests = [(i, Point(100 + 90 * i, 37.0 * ((-1) ** i))) for i in range(6)]
+        tree = rrstr(s, dests, 150.0, cfg)
+        assert tree.is_spanning()
+        assert terminal_refs(tree) == list(range(6))
+
+
+class TestDegenerateInputs:
+    def test_duplicate_destination_locations(self):
+        s = Point(0, 0)
+        dests = [(1, Point(300, 0)), (2, Point(300, 0))]
+        tree = rrstr(s, dests, 150.0)
+        assert terminal_refs(tree) == [1, 2]
+        assert tree.is_spanning()
+        # One rides for free on the other's position.
+        assert tree.total_length() == pytest.approx(300.0, abs=1e-6)
+
+    def test_destination_at_source(self):
+        s = Point(0, 0)
+        tree = rrstr(s, [(1, Point(0, 0)), (2, Point(200, 0))], 150.0)
+        assert tree.is_spanning()
+        assert terminal_refs(tree) == [1, 2]
+
+    def test_many_collinear_destinations(self):
+        s = Point(0, 0)
+        dests = [(i, Point(100.0 * (i + 1), 0)) for i in range(6)]
+        tree = rrstr(s, dests, 150.0)
+        assert tree.is_spanning()
+        # Optimal is the straight path.
+        assert tree.total_length() == pytest.approx(600.0, abs=1e-6)
+
+
+class TestInvariants:
+    @given(dest_lists)
+    @settings(max_examples=120, deadline=None)
+    def test_spans_all_terminals(self, dests):
+        tree = rrstr(Point(500, 500), dests, 150.0)
+        assert tree.is_spanning()
+        assert terminal_refs(tree) == sorted(r for r, _ in dests)
+
+    @given(dest_lists)
+    @settings(max_examples=120, deadline=None)
+    def test_never_longer_than_star(self, dests):
+        # Connecting every destination straight to the source is always
+        # available (self-pairs); the heuristic must never do worse.
+        s = Point(500, 500)
+        tree = rrstr(s, dests, 150.0)
+        assert tree.total_length() <= star_length(s, dests) + 1e-6
+
+    @given(dest_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_basic_variant_spans(self, dests):
+        tree = rrstr(Point(500, 500), dests, 150.0, RAW_BASIC)
+        assert tree.is_spanning()
+
+    @given(dest_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_refined_virtuals_have_two_children(self, dests):
+        tree = rrstr(Point(500, 500), dests, 150.0)
+        for vertex in tree.vertices():
+            if vertex.is_virtual:
+                assert len(tree.children_of(vertex.vid)) >= 2
+
+    @given(dest_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_refinement_never_lengthens(self, dests):
+        s = Point(500, 500)
+        raw = rrstr(s, dests, 150.0, RAW_AWARE)
+        refined = rrstr(s, dests, 150.0, RRStrConfig(radio_aware=True))
+        assert refined.total_length() <= raw.total_length() + 1e-6
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(3)
+        dests = [(i, Point(*rng.uniform(0, 1000, 2))) for i in range(10)]
+        a = rrstr(Point(0, 0), dests, 150.0)
+        b = rrstr(Point(0, 0), dests, 150.0)
+        assert a.edges() == b.edges()
+        assert a.total_length() == b.total_length()
+
+
+class TestQuality:
+    def test_close_to_mst_on_random_workloads(self):
+        # Averaged over seeded workloads the refined tree sits within a few
+        # percent of the destination MST (and often below it).
+        rng = np.random.default_rng(11)
+        ratios = []
+        for _ in range(40):
+            s = Point(*rng.uniform(0, 1000, 2))
+            dests = [(i, Point(*rng.uniform(0, 1000, 2))) for i in range(12)]
+            tree = rrstr(s, dests, 150.0)
+            mst = euclidean_mst(s, dests)
+            ratios.append(tree.total_length() / mst.total_length())
+        assert sum(ratios) / len(ratios) < 1.08
+
+    def test_refinement_fixes_orphan_attachment(self):
+        # A far destination whose natural partners were consumed early must
+        # be re-attached near them by the refinement pass.
+        s = Point(97, 1000)
+        dests = [
+            (0, Point(957, 114)),
+            (1, Point(357, 580)),
+            (2, Point(229, 840)),
+            (3, Point(368, 359)),
+        ]
+        raw = rrstr(s, dests, 150.0, RAW_AWARE)
+        refined = refine_tree(
+            rrstr(s, dests, 150.0, RAW_AWARE), max_stretch=1.25, radio_range=150.0
+        )
+        assert refined.total_length() < raw.total_length() - 100.0

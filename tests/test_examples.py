@@ -1,0 +1,55 @@
+"""Smoke tests for the example scripts.
+
+The cheap examples run end to end (capturing stdout); the expensive ones
+are compiled and imported to guarantee they stay in sync with the API.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+ALL_EXAMPLES = [
+    "quickstart",
+    "steiner_tree_demo",
+    "void_recovery",
+    "habitat_monitoring",
+    "protocol_comparison",
+    "route_tracing",
+    "dynamic_membership",
+    "robustness_study",
+]
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_imports(name):
+    module = load_example(name)
+    assert callable(module.main)
+
+
+def test_steiner_tree_demo_runs(capsys):
+    load_example("steiner_tree_demo").main()
+    out = capsys.readouterr().out
+    assert "reduction ratios" in out
+    assert "rrSTR" in out
+    assert "shorter than the MST" in out
+
+
+def test_quickstart_runs(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "GMP delivered" in out
+    assert "transmissions" in out

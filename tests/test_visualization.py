@@ -1,0 +1,79 @@
+"""Tests for the ASCII visualization helpers."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.steiner import euclidean_mst, rrstr
+from repro.visualization import AsciiCanvas, render_network, render_tree
+from repro.visualization.ascii_art import describe_tree
+from tests.conftest import make_grid_network
+
+
+class TestCanvas:
+    def test_plot_corners(self):
+        canvas = AsciiCanvas(10, 5, Point(0, 0), Point(100, 100))
+        canvas.plot(Point(0, 0), "A")      # bottom-left -> last row
+        canvas.plot(Point(100, 100), "B")  # top-right -> first row
+        text = canvas.render()
+        lines = text.splitlines()
+        assert lines[1].rstrip("|").endswith("B")
+        assert lines[-2].startswith("|A")
+
+    def test_line_leaves_trail(self):
+        canvas = AsciiCanvas(20, 10, Point(0, 0), Point(100, 100))
+        canvas.line(Point(0, 0), Point(100, 100), "*")
+        assert canvas.render().count("*") >= 10
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            AsciiCanvas(1, 5, Point(0, 0), Point(1, 1))
+        with pytest.raises(ValueError):
+            AsciiCanvas(5, 5, Point(0, 0), Point(0, 1))
+
+    def test_multichar_symbol_rejected(self):
+        canvas = AsciiCanvas(5, 5, Point(0, 0), Point(1, 1))
+        with pytest.raises(ValueError):
+            canvas.plot(Point(0, 0), "ab")
+
+    def test_out_of_bounds_points_clamped(self):
+        canvas = AsciiCanvas(5, 5, Point(0, 0), Point(1, 1))
+        canvas.plot(Point(99, 99), "X")  # Must not raise.
+        assert "X" in canvas.render()
+
+
+class TestRenderNetwork:
+    def test_nodes_and_highlights(self, grid_network):
+        text = render_network(grid_network, highlights={0: "S", 99: "D"})
+        assert "S" in text
+        assert "D" in text
+        assert "o" in text
+
+    def test_links_mode(self, grid_network):
+        plain = render_network(grid_network)
+        linked = render_network(grid_network, show_links=True)
+        assert linked.count(".") > plain.count(".")
+
+
+class TestRenderTree:
+    def test_symbols(self):
+        tree = rrstr(
+            Point(0, 0),
+            [(1, Point(800, 60)), (2, Point(820, -40))],
+            150.0,
+        )
+        text = render_tree(tree)
+        assert "S" in text
+        assert text.count("D") == 2
+        if any(v.is_virtual for v in tree.vertices()):
+            assert "*" in text
+
+    def test_describe_tree(self):
+        tree = euclidean_mst(Point(0, 0), [(7, Point(100, 0))])
+        text = describe_tree(tree)
+        assert "S" in text and "d7" in text
+        assert "total length: 100.0 m" in text
+
+    def test_extra_points(self):
+        tree = euclidean_mst(Point(0, 0), [(1, Point(100, 0))])
+        text = render_tree(tree, extra_points=[(Point(50, 20), "N")])
+        assert "N" in text
