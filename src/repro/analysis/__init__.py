@@ -1,0 +1,52 @@
+"""reprolint: AST-based determinism & protocol-contract analysis.
+
+The reproduction's credibility rests on bit-reproducible runs; this package
+is the static gate that enforces the discipline making that possible.  It
+is a small custom analyzer on :mod:`ast` — a rule registry, a per-module
+context, a findings model and ten rules (R001–R010) targeting this
+codebase's concrete failure modes: unseeded randomness, wall-clock reads,
+hash-order-dependent iteration, exact float comparison on distances, and
+drift from the :class:`~repro.routing.base.RoutingProtocol` contract.
+
+Entry points: ``python -m repro.cli lint src/`` on the command line, the
+self-test in ``tests/analysis/test_reprolint_self.py``, and the CI
+workflow.  See ``docs/ANALYSIS.md`` for the rule guide and the suppression
+syntax (``# reprolint: disable=R003``).
+"""
+
+from repro.analysis.engine import (
+    LintConfig,
+    LintReport,
+    ModuleContext,
+    Rule,
+    RuleRegistry,
+    analyze_paths,
+    analyze_source,
+    default_registry,
+    iter_python_files,
+    path_matches,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.suppressions import (
+    SuppressionIndex,
+    build_suppression_index,
+    scan_comments,
+)
+
+__all__ = [
+    "LintConfig",
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "RuleRegistry",
+    "analyze_paths",
+    "analyze_source",
+    "default_registry",
+    "iter_python_files",
+    "path_matches",
+    "Finding",
+    "Severity",
+    "SuppressionIndex",
+    "build_suppression_index",
+    "scan_comments",
+]

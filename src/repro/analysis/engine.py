@@ -1,0 +1,300 @@
+"""The reprolint engine: rule registry, module context and the lint driver.
+
+Rules are small classes (see :mod:`repro.analysis.rules`) registered in a
+:class:`RuleRegistry`; the driver parses each module once, hands every rule
+a :class:`ModuleContext` (path, source, AST, comments, config) and collects
+:class:`Finding` objects, dropping those silenced by suppression comments
+(:mod:`repro.analysis.suppressions`).
+
+The engine is deliberately deterministic itself: files are visited in
+sorted order, findings are sorted, and no rule may depend on hash order.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import (
+    ClassVar,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.suppressions import (
+    Comment,
+    SuppressionIndex,
+    build_suppression_index,
+    scan_comments,
+)
+
+#: Rule id reserved for files the parser rejects outright.
+PARSE_ERROR_RULE = "E000"
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Project-level knobs for the rule set.
+
+    Path patterns are POSIX-style suffixes: a pattern ending in ``/``
+    matches any file under a directory of that relative path; otherwise it
+    must match the file's relative path exactly (suffix-anchored at a path
+    separator).
+    """
+
+    #: Modules allowed to own raw RNG construction (R001 skips them).
+    rng_modules: Tuple[str, ...] = ("repro/simkit/rng.py",)
+    #: Modules hosting the sanctioned epsilon helpers (R004 skips them).
+    epsilon_modules: Tuple[str, ...] = (
+        "repro/geometry/primitives.py",
+        "repro/geometry/point.py",
+    )
+    #: Decision-making layers where unordered iteration is an error (R003).
+    ordered_iteration_scopes: Tuple[str, ...] = (
+        "repro/routing/",
+        "repro/steiner/",
+        "repro/engine/",
+    )
+    #: Call names whose results are float distances (R004 operand test).
+    distance_functions: Tuple[str, ...] = (
+        "distance",
+        "distance_sq",
+        "hypot",
+        "norm",
+        "total_distance",
+        "total_length",
+        "total_meters",
+        "mean_hop_meters",
+        "fermat_total_length",
+        "root_path_length",
+    )
+    #: Maximum ``# type: ignore`` comments per module (R010).
+    type_ignore_budget: int = 2
+
+
+def _normalize(path: str) -> str:
+    return path.replace(os.sep, "/").replace("\\", "/")
+
+
+def path_matches(path: str, patterns: Sequence[str]) -> bool:
+    """Whether ``path`` matches any configured path pattern."""
+    norm = "/" + _normalize(path).lstrip("/")
+    for pattern in patterns:
+        pattern = pattern.strip("/") + ("/" if pattern.endswith("/") else "")
+        if pattern.endswith("/"):
+            if f"/{pattern}" in norm + "/":
+                return True
+        elif norm == f"/{pattern}" or norm.endswith(f"/{pattern}"):
+            return True
+    return False
+
+
+class ModuleContext:
+    """Everything a rule may look at for one module."""
+
+    def __init__(self, path: str, source: str, tree: ast.AST, config: LintConfig) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.config = config
+        self._comments: Optional[List[Comment]] = None
+
+    @property
+    def comments(self) -> List[Comment]:
+        if self._comments is None:
+            self._comments = scan_comments(self.source)
+        return self._comments
+
+    @property
+    def filename(self) -> str:
+        return _normalize(self.path).rsplit("/", 1)[-1]
+
+    def in_module(self, patterns: Sequence[str]) -> bool:
+        return path_matches(self.path, patterns)
+
+
+class Rule(abc.ABC):
+    """One lint rule: an id, a severity and an AST check."""
+
+    rule_id: ClassVar[str]
+    severity: ClassVar[Severity] = Severity.ERROR
+    #: One-line description shown by ``repro lint --list-rules``.
+    summary: ClassVar[str] = ""
+    #: Default remediation advice (a finding may override it).
+    fix_hint: ClassVar[str] = ""
+
+    @abc.abstractmethod
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one module."""
+
+    def finding(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        message: str,
+        fix_hint: Optional[str] = None,
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            fix_hint=self.fix_hint if fix_hint is None else fix_hint,
+        )
+
+
+class RuleRegistry:
+    """Id-keyed collection of rule classes."""
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, Type[Rule]] = {}
+
+    def register(self, rule_cls: Type[Rule]) -> Type[Rule]:
+        rule_id = rule_cls.rule_id
+        if rule_id in self._rules:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        self._rules[rule_id] = rule_cls
+        return rule_cls
+
+    def rule_ids(self) -> List[str]:
+        return sorted(self._rules)
+
+    def create_rules(self, only: Optional[Sequence[str]] = None) -> List[Rule]:
+        ids = self.rule_ids() if only is None else list(only)
+        rules = []
+        for rule_id in ids:
+            if rule_id not in self._rules:
+                raise KeyError(f"unknown rule id {rule_id!r}")
+            rules.append(self._rules[rule_id]())
+        return rules
+
+    def summaries(self) -> List[Tuple[str, str, str]]:
+        """(rule id, severity, summary) rows for ``--list-rules``."""
+        return [
+            (rule_id, self._rules[rule_id].severity.value, self._rules[rule_id].summary)
+            for rule_id in self.rule_ids()
+        ]
+
+
+def default_registry() -> RuleRegistry:
+    """The registry with every built-in rule (imported lazily)."""
+    from repro.analysis import rules as _rules
+
+    registry = RuleRegistry()
+    for rule_cls in _rules.BUILTIN_RULES:
+        registry.register(rule_cls)
+    return registry
+
+
+@dataclass
+class LintReport:
+    """Aggregate outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    directive_count: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def merge(self, other: "LintReport") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.files_checked += other.files_checked
+        self.directive_count += other.directive_count
+
+    def sorted_findings(self) -> List[Finding]:
+        return sorted(self.findings, key=Finding.sort_key)
+
+    def render(self) -> str:
+        lines = [finding.render() for finding in self.sorted_findings()]
+        noun = "finding" if len(self.findings) == 1 else "findings"
+        lines.append(
+            f"reprolint: {len(self.findings)} {noun} in {self.files_checked} "
+            f"file(s) ({len(self.suppressed)} suppressed)"
+        )
+        return "\n".join(lines)
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    registry: Optional[RuleRegistry] = None,
+    config: Optional[LintConfig] = None,
+) -> LintReport:
+    """Lint one module given as a string."""
+    registry = registry or default_registry()
+    config = config or LintConfig()
+    report = LintReport(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        report.findings.append(
+            Finding(
+                rule_id=PARSE_ERROR_RULE,
+                severity=Severity.ERROR,
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"module does not parse: {exc.msg}",
+                fix_hint="fix the syntax error before linting",
+            )
+        )
+        return report
+
+    suppressions: SuppressionIndex = build_suppression_index(source)
+    report.directive_count = suppressions.directive_count
+    ctx = ModuleContext(path=path, source=source, tree=tree, config=config)
+    for rule in registry.create_rules():
+        for finding in rule.check(ctx):
+            if suppressions.is_suppressed(finding.rule_id, finding.line):
+                report.suppressed.append(finding)
+            else:
+                report.findings.append(finding)
+    report.findings.sort(key=Finding.sort_key)
+    return report
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Every ``.py`` file under ``paths``, sorted, hidden dirs skipped."""
+    for path in sorted(paths):
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(
+                d for d in dirs if not d.startswith(".") and d != "__pycache__"
+            )
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(root, name)
+
+
+def analyze_paths(
+    paths: Iterable[str],
+    registry: Optional[RuleRegistry] = None,
+    config: Optional[LintConfig] = None,
+) -> LintReport:
+    """Lint every Python file under ``paths`` and aggregate the reports."""
+    registry = registry or default_registry()
+    config = config or LintConfig()
+    total = LintReport()
+    for file_path in iter_python_files(paths):
+        with open(file_path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        total.merge(analyze_source(source, file_path, registry, config))
+    total.findings.sort(key=Finding.sort_key)
+    return total

@@ -1,0 +1,51 @@
+"""The findings model of reprolint.
+
+A :class:`Finding` is one rule violation at one source location, carrying
+everything the three front ends (CLI, pytest gate, CI annotation) need to
+render it: the rule id, a severity, ``path:line:col``, a human message and a
+concrete fix hint.  Findings are value objects with a total order so reports
+are stable regardless of rule execution order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    Both levels fail the lint gate; the distinction exists for reporting
+    (CI renders errors and warnings differently) and for future knobs.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    fix_hint: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def render(self) -> str:
+        """``path:line:col: R00X [severity] message (fix: ...)``."""
+        text = (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity.value}] {self.message}"
+        )
+        if self.fix_hint:
+            text += f" (fix: {self.fix_hint})"
+        return text

@@ -1,0 +1,110 @@
+"""Suppression comments: ``# reprolint: disable=R003`` and friends.
+
+Two scopes, decided by comment placement:
+
+* a comment **on its own line** disables the listed rules for the whole
+  file (put it at the top, next to the module docstring, so reviewers see
+  it);
+* a comment **trailing a code line** disables the listed rules for that
+  line only.
+
+``disable=all`` disables every rule.  Rule lists are comma-separated:
+``# reprolint: disable=R001,R004``.  Comments are found with
+:mod:`tokenize`, so directive-looking text inside string literals is never
+misread as a directive.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Tuple
+
+_DIRECTIVE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+#: Sentinel rule list meaning "every rule".
+ALL_RULES = "all"
+
+
+@dataclass(frozen=True)
+class Comment:
+    """One source comment, as placed (``standalone`` = comment-only line)."""
+
+    line: int
+    col: int
+    text: str
+    standalone: bool
+
+
+def scan_comments(source: str) -> List[Comment]:
+    """Every comment in ``source`` with its placement.
+
+    Unparseable tails (tokenize errors on truncated input) end the scan
+    early rather than raising: the AST pass will report the syntax error.
+    """
+    comments: List[Comment] = []
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type != tokenize.COMMENT:
+                continue
+            before = token.line[: token.start[1]]
+            comments.append(
+                Comment(
+                    line=token.start[0],
+                    col=token.start[1],
+                    text=token.string,
+                    standalone=not before.strip(),
+                )
+            )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return comments
+
+
+@dataclass(frozen=True)
+class SuppressionIndex:
+    """Which rules are disabled where, for one file."""
+
+    file_level: FrozenSet[str] = frozenset()
+    by_line: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    directive_count: int = 0
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        for scope in (self.file_level, self.by_line.get(line, frozenset())):
+            if rule_id in scope or ALL_RULES in scope:
+                return True
+        return False
+
+
+def _parse_directive(text: str) -> Iterator[str]:
+    match = _DIRECTIVE.search(text)
+    if match is None:
+        return
+    for rule in match.group(1).split(","):
+        rule = rule.strip()
+        if rule:
+            yield rule
+
+
+def build_suppression_index(source: str) -> SuppressionIndex:
+    """Parse every suppression directive in ``source``."""
+    file_level: List[str] = []
+    by_line: Dict[int, FrozenSet[str]] = {}
+    count = 0
+    for comment in scan_comments(source):
+        rules: Tuple[str, ...] = tuple(_parse_directive(comment.text))
+        if not rules:
+            continue
+        count += 1
+        if comment.standalone:
+            file_level.extend(rules)
+        else:
+            by_line[comment.line] = by_line.get(comment.line, frozenset()) | frozenset(rules)
+    return SuppressionIndex(
+        file_level=frozenset(file_level),
+        by_line=by_line,
+        directive_count=count,
+    )

@@ -1,16 +1,19 @@
-"""Command-line entry point: regenerate the paper's tables and figures.
+"""Command-line entry point: figures, tables, and the reprolint gate.
 
 Examples::
 
     python -m repro.cli config
     python -m repro.cli figure11 --scale quick
     python -m repro.cli all --scale paper --json results.json
+    python -m repro.cli lint src/
+    python -m repro.cli lint --list-rules
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Dict, List, Optional
@@ -26,6 +29,17 @@ from repro.experiments.figures import (
 )
 from repro.experiments.report import render_figure_table, render_ratio_summary
 
+_FIGURE_COMMANDS = (
+    "config",
+    "figure11",
+    "figure12",
+    "figure14",
+    "figure15",
+    "all",
+    "ablations",
+    "robustness",
+)
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -35,33 +49,54 @@ def _build_parser() -> argparse.ArgumentParser:
             "Routing in Wireless Sensor Networks' (ICDCS 2006)"
         ),
     )
-    parser.add_argument(
-        "command",
-        choices=["config", "figure11", "figure12", "figure14", "figure15", "all", "ablations", "robustness"],
-        help="what to regenerate",
-    )
-    parser.add_argument(
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    experiment_options = argparse.ArgumentParser(add_help=False)
+    experiment_options.add_argument(
         "--scale",
         default="quick",
         help="statistical scale: smoke, quick, or paper (default: quick)",
     )
-    parser.add_argument(
+    experiment_options.add_argument(
         "--seed", type=int, default=None, help="override the master seed"
     )
-    parser.add_argument(
+    experiment_options.add_argument(
         "--nodes", type=int, default=None, help="override the node count"
     )
-    parser.add_argument(
+    experiment_options.add_argument(
         "--json", dest="json_path", default=None, help="also write results as JSON"
     )
-    parser.add_argument(
+    experiment_options.add_argument(
         "--quiet", action="store_true", help="suppress progress messages"
     )
-    parser.add_argument(
+    experiment_options.add_argument(
         "--workers",
         type=int,
         default=1,
         help="process count for the group-size sweep (default: 1)",
+    )
+    for name in _FIGURE_COMMANDS:
+        subparsers.add_parser(
+            name, parents=[experiment_options], help=f"regenerate {name}"
+        )
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the reprolint determinism & protocol-contract analyzer",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="list the rule set and exit"
+    )
+    lint.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print findings silenced by suppression comments",
     )
     return parser
 
@@ -75,11 +110,39 @@ def _make_config(args: argparse.Namespace) -> PaperConfig:
     return PaperConfig(**kwargs)
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_paths, default_registry
+
+    registry = default_registry()
+    if args.list_rules:
+        for rule_id, severity, summary in registry.summaries():
+            print(f"{rule_id}  [{severity:7s}] {summary}")
+        return 0
+    missing = [path for path in args.paths if not os.path.exists(path)]
+    if missing:
+        for path in missing:
+            print(f"error: no such file or directory: {path}", file=sys.stderr)
+        return 2
+    report = analyze_paths(args.paths, registry=registry)
+    if args.show_suppressed and report.suppressed:
+        for finding in sorted(report.suppressed, key=lambda f: f.sort_key()):
+            print(f"[suppressed] {finding.render()}")
+    print(report.render())
+    return 0 if report.clean else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.command == "lint":
+        return _run_lint(args)
+
     config = _make_config(args)
     progress = (lambda msg: None) if args.quiet else (
-        lambda msg: print(f"  [{time.strftime('%H:%M:%S')}] {msg}", file=sys.stderr)
+        # Operator-facing progress stamp, not simulation state.
+        lambda msg: print(
+            f"  [{time.strftime('%H:%M:%S')}] {msg}",  # reprolint: disable=R002
+            file=sys.stderr,
+        )
     )
 
     if args.command == "config":

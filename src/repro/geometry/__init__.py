@@ -25,8 +25,10 @@ from repro.geometry.primitives import (
     Orientation,
     bearing,
     ccw_angle_from,
+    is_zero,
     orientation,
     point_on_segment,
+    points_coincide,
     segment_intersection,
     segments_cross,
 )
@@ -52,8 +54,10 @@ __all__ = [
     "Orientation",
     "bearing",
     "ccw_angle_from",
+    "is_zero",
     "orientation",
     "point_on_segment",
+    "points_coincide",
     "segment_intersection",
     "segments_cross",
     "fermat_point",

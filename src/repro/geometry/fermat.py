@@ -20,7 +20,7 @@ import math
 from typing import Sequence, Tuple
 
 from repro.geometry.point import Point, angle_at, distance, rotate_about
-from repro.geometry.primitives import segment_intersection
+from repro.geometry.primitives import is_zero, points_coincide, segment_intersection
 
 #: 120 degrees, the Fermat-point angle threshold.
 _DEGENERATE_ANGLE = 2.0 * math.pi / 3.0
@@ -44,11 +44,9 @@ def fermat_point(a: Point, b: Point, c: Point) -> Point:
     """
     # Coincident-vertex degeneracies: the repeated vertex is optimal, since
     # the problem collapses to a two-point (or one-point) median.
-    if a == b or distance(a, b) == 0.0:
+    if points_coincide(a, b) or points_coincide(a, c):
         return Point(a[0], a[1])
-    if a == c or distance(a, c) == 0.0:
-        return Point(a[0], a[1])
-    if b == c or distance(b, c) == 0.0:
+    if points_coincide(b, c):
         return Point(b[0], b[1])
 
     # Wide-angle (>= 120 degrees) case, which also covers collinear triples:
@@ -131,9 +129,9 @@ def weiszfeld_point(
                 pull_y += (p[1] - current[1]) / d
             if math.hypot(pull_x, pull_y) <= 1.0 + 1e-12:
                 return current
-            if denom == 0.0:
+            if is_zero(denom):
                 return current
-        if denom == 0.0:
+        if is_zero(denom):
             return current
         nxt = Point(num_x / denom, num_y / denom)
         if distance(nxt, current) <= tolerance:

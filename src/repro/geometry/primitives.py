@@ -20,6 +20,26 @@ from repro.geometry.point import Point
 _EPS = 1e-12
 
 
+def is_zero(value: float, tolerance: float = _EPS) -> bool:
+    """Whether a scalar (a distance, determinant, weight sum) is zero.
+
+    The sanctioned replacement for ``value == 0.0`` on float quantities:
+    exact float equality on computed distances is hash-of-the-rounding
+    luck, not geometry.  The default tolerance matches the orientation
+    predicates in this module.
+    """
+    return abs(value) <= tolerance
+
+
+def points_coincide(a: Point, b: Point, tolerance: float = _EPS) -> bool:
+    """Whether two points are the same location up to ``tolerance``.
+
+    Componentwise (Chebyshev) test, so no intermediate ``hypot`` can
+    underflow for subnormal coordinates.
+    """
+    return abs(a[0] - b[0]) <= tolerance and abs(a[1] - b[1]) <= tolerance
+
+
 class Orientation(enum.IntEnum):
     """Orientation of an ordered point triple."""
 

@@ -14,7 +14,7 @@ purposes only" framing).
 from __future__ import annotations
 
 import abc
-from typing import List, NamedTuple, Optional, Tuple
+from typing import List, NamedTuple, Tuple
 
 import numpy as np
 

@@ -151,22 +151,24 @@ class PBMProtocol(RoutingProtocol):
     def _candidate_pool(
         self, dist: np.ndarray, own_dist: np.ndarray
     ) -> List[int]:
-        """Nearest progress-making neighbors per destination, deduplicated."""
-        pool: List[int] = []
-        seen = set()
+        """Nearest progress-making neighbors per destination, deduplicated.
+
+        Dedup goes through an insertion-ordered dict, never a set: the pool
+        order seeds subset enumeration, so it must be identical under every
+        ``PYTHONHASHSEED``.
+        """
+        pool: Dict[int, None] = {}
         for z in range(dist.shape[1]):
             order = np.argsort(dist[:, z], kind="stable")
             taken = 0
             for i in order:
                 if dist[i, z] >= own_dist[z] - PROGRESS_EPSILON:
                     break  # Sorted: nothing further makes progress either.
-                if int(i) not in seen:
-                    seen.add(int(i))
-                    pool.append(int(i))
+                pool.setdefault(int(i), None)
                 taken += 1
                 if taken >= self.candidates_per_destination:
                     break
-        return pool
+        return list(pool)
 
     def _select_subset(
         self,
@@ -196,7 +198,11 @@ class PBMProtocol(RoutingProtocol):
                 valid, f = score(np.asarray(members))
                 if valid and (
                     f < best_score - 1e-15
-                    or (abs(f - best_score) <= 1e-15 and best is not None and len(members) < len(best))
+                    or (
+                        abs(f - best_score) <= 1e-15
+                        and best is not None
+                        and len(members) < len(best)
+                    )
                 ):
                     best, best_score = members, f
             if best is not None:

@@ -80,8 +80,10 @@ class SMTProtocol(RoutingProtocol):
         decisions: List[ForwardDecision] = []
         for child in self._schedule.get(view.node_id, ()):
             below = self._subtree_destinations.get(child, set()) | {child}
+            # Sorted: the embedded destination list must not depend on the
+            # interpreter's hash seed, or traces stop being replayable.
             group: List[Destination] = [
-                remaining[d] for d in below if d in remaining
+                remaining[d] for d in sorted(below) if d in remaining
             ]
             if not group:
                 continue  # Nothing left to serve down this branch.

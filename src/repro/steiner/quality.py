@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.geometry import Point, distance
+from repro.geometry.primitives import is_zero
 from repro.steiner.mst import euclidean_mst
 from repro.steiner.rrstr import RRStrConfig, rrstr
 from repro.steiner.tree import SteinerTree
@@ -41,7 +42,7 @@ class TreeQualityReport:
     @property
     def length_ratio(self) -> float:
         """rrSTR length relative to the MST (< 1 means shorter)."""
-        if self.mst_length == 0.0:
+        if is_zero(self.mst_length):
             return 1.0
         return self.rrstr_length / self.mst_length
 

@@ -21,6 +21,7 @@ from typing import Tuple
 
 from repro.geometry import Point, distance
 from repro.geometry.fermat import fermat_point
+from repro.geometry.primitives import is_zero
 
 
 def reduction_ratio_point(s: Point, u: Point, v: Point) -> Tuple[float, Point]:
@@ -31,7 +32,7 @@ def reduction_ratio_point(s: Point, u: Point, v: Point) -> Tuple[float, Point]:
     """
     t = fermat_point(s, u, v)
     direct = distance(s, u) + distance(s, v)
-    if direct == 0.0:
+    if is_zero(direct):
         return 0.0, t
     steiner_length = distance(s, t) + distance(t, u) + distance(t, v)
     return 1.0 - steiner_length / direct, t

@@ -1,0 +1,179 @@
+"""Engine behaviors: suppression scopes, allowlists, path matching, the
+registry, directory walking and the ``repro lint`` CLI front end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    LintConfig,
+    RuleRegistry,
+    analyze_paths,
+    analyze_source,
+    build_suppression_index,
+    default_registry,
+    path_matches,
+)
+from repro.analysis.engine import PARSE_ERROR_RULE
+from repro.cli import main
+
+FLOAT_EQ = "def f(x):\n    return x == 0.0\n"
+ROUTING_PATH = "src/repro/routing/fixture.py"
+
+
+class TestSuppressions:
+    def test_trailing_comment_suppresses_only_its_line(self):
+        source = (
+            "def f(x, y):\n"
+            "    a = x == 0.0  # reprolint: disable=R004\n"
+            "    b = y == 0.0\n"
+            "    return a or b\n"
+        )
+        report = analyze_source(source, ROUTING_PATH)
+        assert [f.line for f in report.findings if f.rule_id == "R004"] == [3]
+        assert [f.line for f in report.suppressed if f.rule_id == "R004"] == [2]
+
+    def test_standalone_comment_suppresses_whole_file(self):
+        source = "# reprolint: disable=R004\n" + FLOAT_EQ + "def g(y):\n    return y != 1.0\n"
+        report = analyze_source(source, ROUTING_PATH)
+        assert report.findings == []
+        assert len(report.suppressed) == 2
+
+    def test_disable_all(self):
+        source = "import random  # reprolint: disable=all\n"
+        report = analyze_source(source, ROUTING_PATH)
+        assert report.findings == []
+        assert report.suppressed
+
+    def test_comma_separated_rule_list(self):
+        index = build_suppression_index("# reprolint: disable=R001, R004\n")
+        assert index.is_suppressed("R001", 99)
+        assert index.is_suppressed("R004", 1)
+        assert not index.is_suppressed("R003", 1)
+
+    def test_directive_inside_string_is_ignored(self):
+        source = 'TEXT = "# reprolint: disable=all"\nimport random\n'
+        report = analyze_source(source, ROUTING_PATH)
+        assert any(f.rule_id == "R001" for f in report.findings)
+        assert report.directive_count == 0
+
+
+class TestAllowlists:
+    def test_rng_module_may_build_generators(self):
+        source = "import numpy as np\nrng = np.random.default_rng()\n"
+        report = analyze_source(source, "src/repro/simkit/rng.py")
+        assert [f for f in report.findings if f.rule_id == "R001"] == []
+
+    def test_unseeded_default_rng_flagged_elsewhere(self):
+        source = "import numpy as np\nrng = np.random.default_rng()\n"
+        report = analyze_source(source, ROUTING_PATH)
+        assert any(f.rule_id == "R001" for f in report.findings)
+
+    def test_epsilon_module_may_compare_floats(self):
+        report = analyze_source(FLOAT_EQ, "src/repro/geometry/primitives.py")
+        assert [f for f in report.findings if f.rule_id == "R004"] == []
+
+    def test_r003_only_applies_to_decision_layers(self):
+        source = "def f(xs):\n    s = set(xs)\n    return [x for x in s]\n"
+        outside = analyze_source(source, "src/repro/experiments/fixture.py")
+        inside = analyze_source(source, ROUTING_PATH)
+        assert [f for f in outside.findings if f.rule_id == "R003"] == []
+        assert any(f.rule_id == "R003" for f in inside.findings)
+
+    def test_abstract_protocol_base_is_exempt_from_r006(self):
+        source = (
+            "import abc\n"
+            "from repro.routing.base import RoutingProtocol\n"
+            "\n"
+            "class PartialProtocol(RoutingProtocol, abc.ABC):\n"
+            "    @abc.abstractmethod\n"
+            "    def helper(self):\n"
+            "        ...\n"
+        )
+        report = analyze_source(source, ROUTING_PATH)
+        assert [f for f in report.findings if f.rule_id == "R006"] == []
+
+
+class TestPathMatching:
+    def test_directory_pattern(self):
+        assert path_matches("src/repro/routing/gmp.py", ("repro/routing/",))
+        assert not path_matches("src/repro/geometry/point.py", ("repro/routing/",))
+
+    def test_file_pattern_is_suffix_anchored(self):
+        assert path_matches("src/repro/simkit/rng.py", ("repro/simkit/rng.py",))
+        assert not path_matches("src/repro/simkit/not_rng.py", ("repro/simkit/rng.py",))
+
+    def test_windows_separators_normalize(self):
+        assert path_matches("src\\repro\\routing\\gmp.py", ("repro/routing/",))
+
+
+class TestEngine:
+    def test_syntax_error_becomes_e000_finding(self):
+        report = analyze_source("def broken(:\n", ROUTING_PATH)
+        assert [f.rule_id for f in report.findings] == [PARSE_ERROR_RULE]
+
+    def test_findings_are_sorted_by_location(self):
+        source = "def g(y):\n    return y != 1.0\n" + FLOAT_EQ
+        report = analyze_source(source, ROUTING_PATH)
+        lines = [f.line for f in report.findings]
+        assert lines == sorted(lines)
+
+    def test_registry_rejects_duplicate_ids(self):
+        registry = RuleRegistry()
+        rule_cls = next(iter(default_registry().create_rules())).__class__
+        registry.register(rule_cls)
+        with pytest.raises(ValueError):
+            registry.register(rule_cls)
+
+    def test_registry_rejects_unknown_rule_selection(self):
+        with pytest.raises(KeyError):
+            default_registry().create_rules(only=["R999"])
+
+    def test_ten_builtin_rules(self):
+        assert default_registry().rule_ids() == [f"R{n:03d}" for n in range(1, 11)]
+
+    def test_analyze_paths_walks_directories(self, tmp_path):
+        package = tmp_path / "src" / "repro" / "routing"
+        package.mkdir(parents=True)
+        (package / "dirty.py").write_text(FLOAT_EQ)
+        (package / "clean.py").write_text("def f():\n    return 1\n")
+        hidden = tmp_path / "src" / ".cache"
+        hidden.mkdir()
+        (hidden / "skipme.py").write_text("import random\n")
+        report = analyze_paths([str(tmp_path)])
+        assert report.files_checked == 2
+        assert [f.rule_id for f in report.findings] == ["R004"]
+
+    def test_report_render_has_summary_line(self):
+        report = analyze_source(FLOAT_EQ, ROUTING_PATH)
+        assert "reprolint: 1 finding in 1 file(s)" in report.render()
+
+
+class TestLintCli:
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        dirty = tmp_path / "repro" / "routing"
+        dirty.mkdir(parents=True)
+        (dirty / "bad.py").write_text(FLOAT_EQ)
+        assert main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "R004" in out
+
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("def f():\n    return 1\n")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in default_registry().rule_ids():
+            assert rule_id in out
+
+    def test_show_suppressed(self, tmp_path, capsys):
+        target = tmp_path / "repro" / "routing"
+        target.mkdir(parents=True)
+        (target / "hushed.py").write_text(
+            "# reprolint: disable=R004\n" + FLOAT_EQ
+        )
+        assert main(["lint", "--show-suppressed", str(tmp_path)]) == 0
+        assert "[suppressed]" in capsys.readouterr().out

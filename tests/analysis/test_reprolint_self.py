@@ -1,0 +1,37 @@
+"""The lint gate: the shipped tree must satisfy its own analyzer.
+
+This is the pytest face of ``repro lint src/`` — CI runs both, but this
+test keeps the gate active for anyone who only runs the test suite.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.analysis import analyze_paths, default_registry
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+
+#: Acceptance budget: the tree must stand on fixes, not on silencing.
+MAX_SUPPRESSION_DIRECTIVES = 4
+
+
+def test_source_tree_has_no_findings():
+    report = analyze_paths([str(SRC)])
+    assert report.files_checked > 50, "lint walk missed most of the tree"
+    assert report.clean, "reprolint findings in src/:\n" + report.render()
+
+
+def test_suppression_directives_stay_rare():
+    report = analyze_paths([str(SRC)])
+    assert report.directive_count <= MAX_SUPPRESSION_DIRECTIVES, (
+        f"{report.directive_count} suppression comments in src/ exceed the "
+        f"budget of {MAX_SUPPRESSION_DIRECTIVES}; fix the code instead"
+    )
+
+
+def test_docs_cover_every_rule():
+    guide = (REPO_ROOT / "docs" / "ANALYSIS.md").read_text(encoding="utf-8")
+    for rule_id in default_registry().rule_ids():
+        assert rule_id in guide, f"docs/ANALYSIS.md does not document {rule_id}"

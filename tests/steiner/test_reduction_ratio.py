@@ -25,7 +25,8 @@ class TestBasics:
 
     def test_zero_when_collinear_opposite(self):
         # Destinations on opposite sides of the source share nothing.
-        assert reduction_ratio(Point(0, 0), Point(100, 0), Point(-100, 0)) == pytest.approx(0.0, abs=1e-9)
+        ratio = reduction_ratio(Point(0, 0), Point(100, 0), Point(-100, 0))
+        assert ratio == pytest.approx(0.0, abs=1e-9)
 
     def test_degenerate_all_at_source(self):
         p = Point(5, 5)
