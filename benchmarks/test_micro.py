@@ -13,6 +13,7 @@ from repro.geometry import Point
 from repro.geometry.fermat import fermat_point
 from repro.network import RadioConfig, build_network
 from repro.network.topology import uniform_random_topology
+from repro.perf.cache import caches_disabled, clear_caches
 from repro.routing import GMPProtocol, LGSProtocol, PBMProtocol, SMTProtocol
 from repro.steiner.kmb import kmb_steiner_tree
 from repro.steiner.mst import euclidean_mst
@@ -81,6 +82,21 @@ def test_bench_planarization(benchmark, micro_network):
     benchmark(planarize_sample)
 
 
+def test_bench_spatial_queries(benchmark, micro_network):
+    """Radius queries against the per-cell-bounds pruned SpatialGrid."""
+    rng = np.random.default_rng(77)
+    centers = [Point(*rng.uniform(0, 1000, 2)) for _ in range(100)]
+
+    def query_sample():
+        total = 0
+        for center in centers:
+            for radius in (80.0, 150.0, 300.0):
+                total += len(micro_network.nodes_within(center, radius))
+        return total
+
+    benchmark(query_sample)
+
+
 @pytest.mark.parametrize(
     "factory",
     [GMPProtocol, LGSProtocol, PBMProtocol, SMTProtocol],
@@ -94,3 +110,15 @@ def test_bench_task_execution(benchmark, micro_network, factory):
         rounds=3,
         iterations=1,
     )
+
+
+def test_bench_task_execution_gmp_cold(benchmark, micro_network):
+    """GMP with all perf caches disabled: the uncached reference path."""
+    dests = [30, 90, 150, 210, 270, 330, 370, 399]
+
+    def cold_task():
+        clear_caches()
+        with caches_disabled():
+            return run_task(micro_network, GMPProtocol(), 0, dests)
+
+    benchmark.pedantic(cold_task, rounds=3, iterations=1)

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Compare a fresh pytest-benchmark JSON export against the committed baseline.
+
+Guards the perf work against silent regressions::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_micro.py \
+        --benchmark-only --benchmark-json=bench_fresh.json
+    python scripts/bench_compare.py bench_fresh.json
+
+Per benchmark the *median* runtimes are compared (medians are robust to the
+scheduler hiccups that wreck means on shared CI boxes).  A benchmark fails
+when ``fresh_median > max_ratio * baseline_median``; missing benchmarks fail
+too, so renames must update the baseline deliberately.  Default tolerance is
++/-30% (``--max-ratio 1.3``); CI's perf-smoke job runs with ``--max-ratio
+2.0`` because hosted runners vary in absolute speed.
+
+Regenerate the baseline (after intentional perf changes) with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_micro.py \
+        --benchmark-only --benchmark-json=BENCH_micro.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+
+def load_medians(path: str) -> Dict[str, float]:
+    """``{benchmark fullname: median seconds}`` from a pytest-benchmark JSON."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    medians = {}
+    for bench in payload["benchmarks"]:
+        medians[bench["fullname"]] = float(bench["stats"]["median"])
+    return medians
+
+
+def compare(
+    baseline: Dict[str, float],
+    fresh: Dict[str, float],
+    max_ratio: float,
+) -> int:
+    """Print a comparison table; return the number of failures."""
+    failures = 0
+    width = max(len(name) for name in baseline) if baseline else 10
+    print(f"{'benchmark'.ljust(width)}  {'base':>10}  {'fresh':>10}  {'ratio':>6}")
+    for name in sorted(baseline):
+        base_median = baseline[name]
+        if name not in fresh:
+            failures += 1
+            print(f"{name.ljust(width)}  {base_median:10.2e}  {'MISSING':>10}")
+            continue
+        fresh_median = fresh[name]
+        ratio = fresh_median / base_median if base_median > 0 else float("inf")
+        verdict = "" if ratio <= max_ratio else "  REGRESSION"
+        if verdict:
+            failures += 1
+        print(
+            f"{name.ljust(width)}  {base_median:10.2e}  {fresh_median:10.2e}"
+            f"  {ratio:5.2f}x{verdict}"
+        )
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"{name.ljust(width)}  {'(new)':>10}  {fresh[name]:10.2e}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when benchmark medians regress past the baseline."
+    )
+    parser.add_argument("fresh", help="fresh pytest-benchmark JSON export")
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_micro.json",
+        help="committed baseline JSON (default: BENCH_micro.json)",
+    )
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=1.3,
+        help="maximum allowed fresh/baseline median ratio (default: 1.3)",
+    )
+    args = parser.parse_args(argv)
+    baseline = load_medians(args.baseline)
+    fresh = load_medians(args.fresh)
+    failures = compare(baseline, fresh, args.max_ratio)
+    if failures:
+        print(
+            f"\n{failures} benchmark(s) regressed past {args.max_ratio:.2f}x "
+            f"(or went missing)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall benchmarks within {args.max_ratio:.2f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

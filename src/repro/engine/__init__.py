@@ -7,11 +7,13 @@ their airtime, charges the Section-5.3 energy model for every transmission
 the Figure-15 experiment, and collects per-task statistics.
 """
 
-from repro.engine.runner import EngineConfig, run_task
+from repro.engine.digest import batch_digest, task_digest
+from repro.engine.runner import DEFAULT_ENGINE_CONFIG, EngineConfig, run_task
 from repro.engine.stats import TaskResult, summarize_results
 from repro.engine.trace import CopyRecord, FrameRecord, TaskTrace
 
 __all__ = [
+    "DEFAULT_ENGINE_CONFIG",
     "EngineConfig",
     "run_task",
     "TaskResult",
@@ -19,4 +21,6 @@ __all__ = [
     "TaskTrace",
     "FrameRecord",
     "CopyRecord",
+    "task_digest",
+    "batch_digest",
 ]

@@ -1,0 +1,67 @@
+"""Canonical digests of task outcomes, for bit-identity guarantees.
+
+The parallel experiment engine promises that ``--workers N`` output is
+*bit-identical* to the serial run, and the perf caches promise that a cache
+hit changes nothing.  Both contracts are enforced by comparing SHA-256
+digests over a canonical serialization of :class:`TaskResult` — including,
+when collected, the complete on-air :class:`TaskTrace` (every frame, every
+copy, every virtual timestamp).
+
+Floats are serialized with :func:`repr`, the shortest round-trip
+representation — two results digest equal iff every float is the same
+IEEE-754 double.  Instrumentation (:attr:`TaskResult.perf`) is deliberately
+excluded: cache hit rates legitimately differ between runs that are
+simulation-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List
+
+from repro.engine.stats import TaskResult
+from repro.engine.trace import TaskTrace
+
+
+def _trace_lines(trace: TaskTrace) -> List[str]:
+    lines = []
+    for frame in trace.frames:
+        copies = ";".join(
+            f"{c.receiver_id},{c.destination_ids},{c.hop_count},"
+            f"{c.in_perimeter_mode},{c.lost}"
+            for c in frame.copies
+        )
+        lines.append(
+            f"frame {frame.sender_id} t={frame.time_s!r} "
+            f"tx={frame.transmissions_charged} [{copies}]"
+        )
+    return lines
+
+
+def task_digest(result: TaskResult) -> str:
+    """Hex SHA-256 of everything simulation-meaningful in ``result``."""
+    lines = [
+        f"task={result.task_id}",
+        f"protocol={result.protocol}",
+        f"source={result.source_id}",
+        f"destinations={result.destination_ids}",
+        f"delivered={sorted(result.delivered_hops.items())}",
+        f"transmissions={result.transmissions}",
+        f"energy={result.energy_joules!r}",
+        f"duration={result.duration_s!r}",
+        f"dropped_ttl={result.dropped_ttl}",
+        f"hotspot={result.hotspot_energy_joules!r}",
+    ]
+    if result.trace is not None:
+        lines.extend(_trace_lines(result.trace))
+    payload = "\n".join(lines).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def batch_digest(results: Iterable[TaskResult]) -> str:
+    """Order-sensitive digest of a whole result batch."""
+    digest = hashlib.sha256()
+    for result in results:
+        digest.update(task_digest(result).encode("ascii"))
+        digest.update(b"\n")
+    return digest.hexdigest()

@@ -12,6 +12,7 @@ from repro.engine.trace import CopyRecord, FrameRecord, TaskTrace
 from repro.network.energy import EnergyMeter, EnergyModel
 from repro.network.graph import WirelessNetwork
 from repro.packets import Destination, MulticastPacket
+from repro.perf.counters import GLOBAL_COUNTERS
 from repro.routing.base import ForwardDecision, NodeView, RoutingProtocol
 from repro.simkit import SimulationError, Simulator
 from repro.simkit.rng import derive_seed
@@ -50,6 +51,13 @@ class EngineConfig:
             flat message size.  Off by default to match Table 1; turning
             it on penalizes protocols that carry long destination lists
             deep into the network.
+        collect_traces: Record the full on-air trace of every task (the
+            per-call ``collect_trace`` argument of :func:`run_task` still
+            works for one-off traces).  Used by the parallel-vs-serial
+            bit-identity tests, which digest complete frame histories.
+        collect_perf: Attach per-task perf-cache counter deltas (hits and
+            misses moved during the task) as :attr:`TaskResult.perf`.
+            Instrumentation only — excluded from result digests.
     """
 
     max_path_length: int = 100
@@ -61,6 +69,8 @@ class EngineConfig:
     loss_seed: int = 0
     failed_node_ids: FrozenSet[int] = field(default_factory=frozenset)
     charge_header_overhead: bool = False
+    collect_traces: bool = False
+    collect_perf: bool = False
 
     def __post_init__(self) -> None:
         if self.transmission_model not in ("protocol", "broadcast", "unicast"):
@@ -71,6 +81,12 @@ class EngineConfig:
             raise ValueError(
                 f"link loss rate must be in [0, 1), got {self.link_loss_rate}"
             )
+
+
+#: Shared immutable default: every entry point that accepts an optional
+#: :class:`EngineConfig` falls back to this one instance instead of
+#: constructing a fresh (identical) config per call.
+DEFAULT_ENGINE_CONFIG = EngineConfig()
 
 
 class _TaskExecution:
@@ -240,7 +256,10 @@ def run_task(
         losses, or a disconnected topology for the centralized SMT
         baseline).
     """
-    cfg = config or EngineConfig()
+    cfg = config or DEFAULT_ENGINE_CONFIG
+    perf_before: Optional[Dict[str, float]] = (
+        GLOBAL_COUNTERS.snapshot() if cfg.collect_perf else None
+    )
     unique_destinations = []
     seen = set()
     for d in destination_ids:
@@ -255,7 +274,7 @@ def run_task(
     if source_id in cfg.failed_node_ids:
         raise ValueError(f"source {source_id} is marked as a failed node")
 
-    trace = TaskTrace() if collect_trace else None
+    trace = TaskTrace() if (collect_trace or cfg.collect_traces) else None
     execution = _TaskExecution(network, protocol, cfg, task_id, trace)
     dest_tuple = tuple(unique_destinations)
 
@@ -264,6 +283,11 @@ def run_task(
         per_node: Dict[int, float] = dict(execution.energy.tx_joules_by_node)
         for node, joules in execution.energy.rx_joules_by_node.items():
             per_node[node] = per_node.get(node, 0.0) + joules
+        perf = (
+            GLOBAL_COUNTERS.delta_since(perf_before)
+            if perf_before is not None
+            else None
+        )
         return TaskResult(
             task_id=task_id,
             protocol=protocol.name,
@@ -276,6 +300,7 @@ def run_task(
             dropped_ttl=execution.dropped_ttl,
             trace=trace,
             hotspot_energy_joules=max(per_node.values(), default=0.0),
+            perf=perf,
         )
 
     if not dest_tuple:

@@ -33,6 +33,10 @@ class TaskResult:
         dropped_ttl: Transmissions suppressed by the hop-count TTL.
         trace: Full on-air history (only when the task was run with
             ``collect_trace=True``).
+        perf: Per-task perf-cache counter movement (only when run under
+            ``EngineConfig(collect_perf=True)``).  Instrumentation, not a
+            simulation outcome: excluded from result digests, and two runs
+            may legitimately differ here while being simulation-identical.
     """
 
     task_id: int
@@ -48,6 +52,7 @@ class TaskResult:
     #: Largest total energy any single node spent on this task — the
     #: network-lifetime proxy (the first node to die ends coverage).
     hotspot_energy_joules: float = 0.0
+    perf: Optional[Mapping[str, float]] = None
 
     @property
     def failed_destinations(self) -> Tuple[int, ...]:

@@ -18,14 +18,16 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine import EngineConfig, TaskResult, summarize_results
 from repro.experiments.config import ExperimentScale, PaperConfig
-from repro.experiments.sweep import best_lambda_results, make_network, run_tasks
-from repro.experiments.workload import generate_tasks
-from repro.routing.base import RoutingProtocol
-from repro.routing.gmp import GMPProtocol
-from repro.routing.grd import GRDProtocol
-from repro.routing.lgs import LGSProtocol
-from repro.routing.pbm import PBMProtocol
-from repro.routing.smt import SMTProtocol
+from repro.experiments.sweep import (
+    ProtocolSpec,
+    build_protocol,
+    cached_network,
+    run_tasks,
+    select_best_lambda,
+)
+from repro.experiments.workload import MulticastTask, generate_tasks
+from repro.perf.counters import GLOBAL_COUNTERS
+from repro.perf.parallel import run_units
 from repro.simkit.rng import RandomStreams
 
 ProgressFn = Callable[[str], None]
@@ -109,37 +111,71 @@ def _default_engine_config(config: PaperConfig) -> EngineConfig:
     return EngineConfig(max_path_length=config.max_path_length)
 
 
-def _sweep_cell(
-    config: PaperConfig,
-    scale: ExperimentScale,
-    engine: EngineConfig,
-    net_index: int,
-    group_size: int,
-    include_grd: bool,
-) -> Dict[str, List[TaskResult]]:
-    """One (network, k) cell of the shared sweep — picklable for workers."""
-    network = make_network(config, net_index)
+#: One work unit's payload: the task batch plus the perf-counter delta the
+#: unit accumulated while computing it (merged back by the parent when the
+#: unit ran in a worker process).
+UnitOutput = Tuple[List[TaskResult], Dict[str, float]]
+
+
+def _sweep_specs(scale: ExperimentScale, include_grd: bool) -> List[ProtocolSpec]:
+    """Canonical per-cell protocol spec order for the shared k-sweep."""
+    specs: List[ProtocolSpec] = [
+        (LABEL_GMP,),
+        (LABEL_GMPNR,),
+        (LABEL_LGS,),
+        (LABEL_SMT,),
+    ]
+    if include_grd:
+        specs.append((LABEL_GRD,))
+    specs.extend((LABEL_PBM, lam) for lam in scale.lambdas)
+    return specs
+
+
+def _sweep_tasks(
+    config: PaperConfig, scale: ExperimentScale, net_index: int, group_size: int
+) -> List[MulticastTask]:
+    """The (network, k) cell's task batch, re-derived from the master seed."""
+    network = cached_network(config, net_index)
     streams = RandomStreams(config.master_seed)
-    tasks = generate_tasks(
+    return generate_tasks(
         network,
         scale.tasks_per_network,
         group_size,
         streams.stream("workload", net_index, group_size),
         first_task_id=net_index * 10_000 + group_size * 100,
     )
-    fixed_protocols: List[Tuple[str, Callable[[], RoutingProtocol]]] = [
-        (LABEL_GMP, lambda: GMPProtocol(radio_aware=True)),
-        (LABEL_GMPNR, lambda: GMPProtocol(radio_aware=False)),
-        (LABEL_LGS, LGSProtocol),
-        (LABEL_SMT, SMTProtocol),
-    ]
-    if include_grd:
-        fixed_protocols.append((LABEL_GRD, GRDProtocol))
-    cell: Dict[str, List[TaskResult]] = {}
-    for label, factory in fixed_protocols:
-        cell[label] = run_tasks(network, factory(), tasks, engine)
-    cell[LABEL_PBM] = best_lambda_results(network, tasks, scale.lambdas, engine)
-    return cell
+
+
+def run_sweep_unit(
+    config: PaperConfig,
+    scale: ExperimentScale,
+    engine: EngineConfig,
+    net_index: int,
+    group_size: int,
+    spec: ProtocolSpec,
+) -> UnitOutput:
+    """One (network, k, protocol) unit of the shared sweep.
+
+    A pure function of its (picklable) arguments: the network and task batch
+    are re-derived from seeds inside the executing process, so the result is
+    identical whether it runs inline or in a pool worker.
+    """
+    network = cached_network(config, net_index)
+    tasks = _sweep_tasks(config, scale, net_index, group_size)
+    before = GLOBAL_COUNTERS.snapshot()
+    batch = run_tasks(network, build_protocol(spec), tasks, engine)
+    return batch, GLOBAL_COUNTERS.delta_since(before)
+
+
+def _merge_worker_perf(outputs: Sequence[UnitOutput], used_pool: bool) -> None:
+    """Fold worker-side perf-counter deltas into the parent's counters.
+
+    Only when a pool actually executed the units — inline execution already
+    accumulated into this process's ``GLOBAL_COUNTERS`` directly.
+    """
+    if used_pool:
+        for _, delta in outputs:
+            GLOBAL_COUNTERS.merge_delta(delta)
 
 
 def run_group_size_sweep(
@@ -156,9 +192,14 @@ def run_group_size_sweep(
     run under GMP, GMPnr, LGS, SMT, (optionally) GRD, and PBM with the
     paper's per-task best-lambda selection.
 
-    ``workers > 1`` distributes (network, k) cells over a process pool; the
-    aggregated result is identical to the serial run because every cell is
-    deterministic in ``(master_seed, net_index, k)``.
+    The work is sharded one unit per (network, k, protocol-or-lambda) and
+    executed through :func:`repro.perf.parallel.run_units` — the same code
+    path whether serial or parallel.  ``workers > 1`` distributes units over
+    a process pool; the aggregated result is bit-identical to ``workers=1``
+    because every unit is deterministic in its arguments, units are merged
+    in canonical cell order, and PBM's per-task best-lambda selection runs
+    at merge time via :func:`~repro.experiments.sweep.select_best_lambda`
+    exactly as in the serial path.
     """
     from repro.experiments.config import QUICK_SCALE
 
@@ -166,40 +207,45 @@ def run_group_size_sweep(
     scl = scale or QUICK_SCALE
     engine = engine_config or _default_engine_config(cfg)
     sweep = GroupSizeSweep(config=cfg, scale=scl)
+    specs = _sweep_specs(scl, include_grd)
+    fixed_count = len(specs) - len(scl.lambdas)
     cells = [
         (net_index, k)
         for net_index in range(scl.network_count)
         for k in scl.group_sizes
     ]
+    units = [
+        (cfg, scl, engine, net_index, k, spec)
+        for net_index, k in cells
+        for spec in specs
+    ]
 
-    if workers <= 1:
-        for net_index, k in cells:
-            cell = _sweep_cell(cfg, scl, engine, net_index, k, include_grd)
-            for label, batch in cell.items():
-                sweep.add(label, k, batch)
-            if progress is not None:
-                progress(f"network {net_index + 1}/{scl.network_count} k={k} done")
-        return sweep
+    finished = 0
 
-    from concurrent.futures import ProcessPoolExecutor
+    def cell_progress(_unit_message: str) -> None:
+        # Units are reported in submission order, so every len(specs)-th
+        # completion closes one (network, k) cell.
+        nonlocal finished
+        finished += 1
+        if progress is not None and finished % len(specs) == 0:
+            net_index, k = cells[finished // len(specs) - 1]
+            progress(f"network {net_index + 1}/{scl.network_count} k={k} done")
 
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {
-            pool.submit(
-                _sweep_cell, cfg, scl, engine, net_index, k, include_grd
-            ): (net_index, k)
-            for net_index, k in cells
-        }
-        # Collect deterministically by cell order, not completion order.
-        results = {}
-        for future, cell_key in futures.items():
-            results[cell_key] = future.result()
-            if progress is not None:
-                net_index, k = cell_key
-                progress(f"network {net_index + 1}/{scl.network_count} k={k} done")
-    for net_index, k in cells:
-        for label, batch in results[(net_index, k)].items():
-            sweep.add(label, k, batch)
+    outputs = run_units(
+        run_sweep_unit,
+        units,
+        workers=workers,
+        progress=None if progress is None else cell_progress,
+    )
+    _merge_worker_perf(outputs, used_pool=workers > 1 and len(units) > 1)
+
+    index = 0
+    for _, k in cells:
+        per_spec = [batch for batch, _ in outputs[index : index + len(specs)]]
+        index += len(specs)
+        for spec, batch in zip(specs[:fixed_count], per_spec[:fixed_count]):
+            sweep.add(str(spec[0]), k, batch)
+        sweep.add(LABEL_PBM, k, select_best_lambda(per_spec[fixed_count:]))
     return sweep
 
 
@@ -256,58 +302,105 @@ def figure14(sweep: GroupSizeSweep) -> FigureResult:
     )
 
 
+def run_density_unit(
+    config: PaperConfig,
+    scale: ExperimentScale,
+    engine: EngineConfig,
+    net_index: int,
+    node_count: int,
+    spec: ProtocolSpec,
+) -> UnitOutput:
+    """One (density, network, protocol) unit of the Figure-15 sweep."""
+    network = cached_network(config, net_index, node_count=node_count)
+    streams = RandomStreams(config.master_seed)
+    tasks = generate_tasks(
+        network,
+        scale.tasks_per_network,
+        scale.density_group_size,
+        streams.stream("workload-density", net_index, node_count),
+        first_task_id=net_index * 10_000,
+    )
+    before = GLOBAL_COUNTERS.snapshot()
+    batch = run_tasks(network, build_protocol(spec), tasks, engine)
+    return batch, GLOBAL_COUNTERS.delta_since(before)
+
+
 def figure15(
     config: PaperConfig | None = None,
     scale: ExperimentScale | None = None,
     engine_config: EngineConfig | None = None,
     pbm_lambda: float = 0.3,
     progress: Optional[ProgressFn] = None,
+    workers: int = 1,
 ) -> FigureResult:
     """Figure 15: failed tasks vs. network density.
 
     k = 12 destinations, TTL = 100 hops; only the protocols with perimeter
     recovery semantics are compared (PBM, LGS, GMP), exactly as in the
     paper.  The y value is the failure count normalized to the paper's
-    1000-task total.
+    1000-task total.  Sharded one unit per (density, network, protocol) via
+    :func:`repro.perf.parallel.run_units`; the result is bit-identical for
+    any worker count.
     """
     from repro.experiments.config import QUICK_SCALE
 
     cfg = config or PaperConfig()
     scl = scale or QUICK_SCALE
     engine = engine_config or _default_engine_config(cfg)
-    streams = RandomStreams(cfg.master_seed)
-    protocols: List[Tuple[str, Callable[[], RoutingProtocol]]] = [
-        (LABEL_PBM, lambda: PBMProtocol(lam=pbm_lambda)),
-        (LABEL_LGS, LGSProtocol),
-        (LABEL_GMP, lambda: GMPProtocol(radio_aware=True)),
+    specs: List[ProtocolSpec] = [
+        (LABEL_PBM, pbm_lambda),
+        (LABEL_LGS,),
+        (LABEL_GMP,),
     ]
+    cells = [
+        (node_count, net_index)
+        for node_count in scl.density_node_counts
+        for net_index in range(scl.network_count)
+    ]
+    units = [
+        (cfg, scl, engine, net_index, node_count, spec)
+        for node_count, net_index in cells
+        for spec in specs
+    ]
+
+    finished = 0
+
+    def cell_progress(_unit_message: str) -> None:
+        nonlocal finished
+        finished += 1
+        if progress is not None and finished % len(specs) == 0:
+            node_count, net_index = cells[finished // len(specs) - 1]
+            progress(
+                f"density {node_count}: network {net_index + 1}/{scl.network_count} done"
+            )
+
+    outputs = run_units(
+        run_density_unit,
+        units,
+        workers=workers,
+        progress=None if progress is None else cell_progress,
+    )
+    _merge_worker_perf(outputs, used_pool=workers > 1 and len(units) > 1)
+
     failures: Dict[str, List[Tuple[float, float]]] = {
-        label: [] for label, _ in protocols
+        str(spec[0]): [] for spec in specs
     }
     total_tasks = scl.network_count * scl.tasks_per_network
-    for node_count in scl.density_node_counts:
-        counts = {label: 0 for label, _ in protocols}
-        for net_index in range(scl.network_count):
-            network = make_network(cfg, net_index, node_count=node_count)
-            tasks = generate_tasks(
-                network,
-                scl.tasks_per_network,
-                scl.density_group_size,
-                streams.stream("workload-density", net_index, node_count),
-                first_task_id=net_index * 10_000,
-            )
-            for label, factory in protocols:
-                results = run_tasks(network, factory(), tasks, engine)
-                counts[label] += sum(0 if r.success else 1 for r in results)
-            if progress is not None:
-                progress(
-                    f"density {node_count}: network {net_index + 1}/{scl.network_count} done"
+    index = 0
+    counts: Dict[str, int] = {}
+    for node_count, net_index in cells:
+        if net_index == 0:
+            counts = {str(spec[0]): 0 for spec in specs}
+        for spec, (batch, _) in zip(specs, outputs[index : index + len(specs)]):
+            counts[str(spec[0])] += sum(0 if r.success else 1 for r in batch)
+        index += len(specs)
+        if net_index == scl.network_count - 1:
+            for spec in specs:
+                label = str(spec[0])
+                # Normalize to the paper's 1000-task denominator.
+                failures[label].append(
+                    (float(node_count), counts[label] * 1000.0 / total_tasks)
                 )
-        for label, _ in protocols:
-            # Normalize to the paper's 1000-task denominator.
-            failures[label].append(
-                (float(node_count), counts[label] * 1000.0 / total_tasks)
-            )
     return FigureResult(
         figure_id="figure15",
         title="Number of failed tasks for different network densities",

@@ -1,17 +1,65 @@
-"""Batch execution: seeded networks, task batches, and the PBM lambda sweep."""
+"""Batch execution: seeded networks, task batches, and the PBM lambda sweep.
+
+This module also hosts the pieces shared by the parallel experiment engine
+(:mod:`repro.perf.parallel`):
+
+* :func:`cached_network` — a per-process memo so each worker reconstructs a
+  given deployment once and reuses it across all units it executes;
+* :func:`build_protocol` — protocol construction from a picklable spec tuple,
+  so work units ship ``("PBM", 0.3)`` instead of protocol instances;
+* :func:`select_best_lambda` — the paper's per-task best-lambda selection,
+  shared between the serial :func:`best_lambda_results` and the merge step of
+  the parallel sweep so both paths apply byte-identical semantics.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.engine import EngineConfig, TaskResult, run_task
+from repro.engine import DEFAULT_ENGINE_CONFIG, EngineConfig, TaskResult, run_task
 from repro.experiments.config import PaperConfig
 from repro.experiments.workload import MulticastTask
 from repro.network.graph import WirelessNetwork, build_network
 from repro.network.topology import uniform_random_topology
 from repro.routing.base import RoutingProtocol
+from repro.routing.gmp import GMPProtocol
+from repro.routing.grd import GRDProtocol
+from repro.routing.lgs import LGSProtocol
 from repro.routing.pbm import PBMProtocol
+from repro.routing.smt import SMTProtocol
 from repro.simkit.rng import RandomStreams
+
+#: A picklable protocol description: ``(name,)`` or ``("PBM", lam)``.
+ProtocolSpec = Tuple[object, ...]
+
+_PROTOCOL_FACTORIES: Dict[str, Callable[[], RoutingProtocol]] = {
+    "GMP": lambda: GMPProtocol(radio_aware=True),
+    "GMPnr": lambda: GMPProtocol(radio_aware=False),
+    "LGS": LGSProtocol,
+    "SMT": SMTProtocol,
+    "GRD": GRDProtocol,
+}
+
+
+def build_protocol(spec: ProtocolSpec) -> RoutingProtocol:
+    """Construct a protocol instance from a picklable spec tuple.
+
+    ``("GMP",)``, ``("GMPnr",)``, ``("LGS",)``, ``("SMT",)``, ``("GRD",)``
+    take no parameters; ``("PBM", lam)`` carries its lambda.  Work units ship
+    specs across the process boundary instead of live protocol objects, so a
+    worker always starts from a freshly-constructed (stateless) instance.
+    """
+    name = spec[0]
+    if name == "PBM":
+        if len(spec) != 2:
+            raise ValueError(f"PBM spec needs a lambda: {spec!r}")
+        return PBMProtocol(lam=float(spec[1]))  # type: ignore[arg-type]
+    if len(spec) != 1 or not isinstance(name, str):
+        raise ValueError(f"malformed protocol spec {spec!r}")
+    try:
+        return _PROTOCOL_FACTORIES[name]()
+    except KeyError:
+        raise ValueError(f"unknown protocol spec {spec!r}") from None
 
 
 def make_network(
@@ -33,6 +81,34 @@ def make_network(
     return build_network(points, config.radio)
 
 
+#: Per-process deployment memo (see :func:`cached_network`).
+_NETWORK_MEMO: Dict[Tuple[PaperConfig, int, Optional[int]], WirelessNetwork] = {}
+_NETWORK_MEMO_CAP = 64
+
+
+def cached_network(
+    config: PaperConfig,
+    network_index: int,
+    node_count: Optional[int] = None,
+) -> WirelessNetwork:
+    """:func:`make_network`, memoized per process.
+
+    Parallel work units are sharded finer than one-unit-per-network (one per
+    network x k x protocol), so each worker would otherwise rebuild the same
+    deployment dozens of times.  Deployments are deterministic in the key and
+    immutable in use, so sharing one instance is safe; the memo is bounded
+    (FIFO) to keep long many-density sessions from accumulating networks.
+    """
+    key = (config, network_index, node_count)
+    network = _NETWORK_MEMO.get(key)
+    if network is None:
+        network = make_network(config, network_index, node_count=node_count)
+        if len(_NETWORK_MEMO) >= _NETWORK_MEMO_CAP:
+            _NETWORK_MEMO.pop(next(iter(_NETWORK_MEMO)))
+        _NETWORK_MEMO[key] = network
+    return network
+
+
 def run_tasks(
     network: WirelessNetwork,
     protocol: RoutingProtocol,
@@ -40,7 +116,7 @@ def run_tasks(
     engine_config: EngineConfig | None = None,
 ) -> List[TaskResult]:
     """Run each task under ``protocol`` and collect the results."""
-    cfg = engine_config or EngineConfig()
+    cfg = engine_config or DEFAULT_ENGINE_CONFIG
     return [
         run_task(
             network,
@@ -52,6 +128,34 @@ def run_tasks(
         )
         for task in tasks
     ]
+
+
+def select_best_lambda(
+    per_lambda: Sequence[Sequence[TaskResult]],
+) -> List[TaskResult]:
+    """Per-task best result across lambda-ordered batches (Section 5.1).
+
+    ``per_lambda[i][t]`` is task ``t`` run with the ``i``-th lambda; the
+    winner per task is the minimum under ``(failed, transmissions)`` with
+    ties broken by lambda order.  Kept as a standalone function because the
+    parallel sweep applies it at merge time to batches computed by
+    independent workers — both paths must agree exactly.
+    """
+    if not per_lambda:
+        raise ValueError("need at least one lambda batch")
+    task_count = len(per_lambda[0])
+    if any(len(batch) != task_count for batch in per_lambda):
+        raise ValueError("lambda batches must cover the same tasks")
+    best: List[TaskResult] = []
+    for task_index in range(task_count):
+        candidates = [batch[task_index] for batch in per_lambda]
+        best.append(
+            min(
+                candidates,
+                key=lambda r: (0 if r.success else 1, r.transmissions),
+            )
+        )
+    return best
 
 
 def best_lambda_results(
@@ -70,17 +174,8 @@ def best_lambda_results(
     """
     if not lambdas:
         raise ValueError("need at least one lambda value")
-    cfg = engine_config or EngineConfig()
+    cfg = engine_config or DEFAULT_ENGINE_CONFIG
     per_lambda = [
         run_tasks(network, protocol_factory(lam), tasks, cfg) for lam in lambdas
     ]
-    best: List[TaskResult] = []
-    for task_index in range(len(tasks)):
-        candidates = [results[task_index] for results in per_lambda]
-        best.append(
-            min(
-                candidates,
-                key=lambda r: (0 if r.success else 1, r.transmissions),
-            )
-        )
-    return best
+    return select_best_lambda(per_lambda)

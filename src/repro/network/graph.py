@@ -26,7 +26,15 @@ from repro.network.radio import RadioConfig
 
 
 class SpatialGrid:
-    """Uniform hash grid over the plane for radius queries."""
+    """Uniform hash grid over the plane for radius queries.
+
+    Each occupied cell precomputes the tight bounding box of the points it
+    actually holds, so a query can discard cells whose contents cannot
+    intersect the disk (the corner cells of the scan square usually cannot)
+    and bulk-accept cells that lie entirely inside it — without touching a
+    single point.  Both prunes are conservative: the returned indices, and
+    their order, are identical to the plain per-point scan.
+    """
 
     def __init__(self, points: Sequence[Point], cell_size: float) -> None:
         if cell_size <= 0:
@@ -36,6 +44,12 @@ class SpatialGrid:
         self._points = list(points)
         for idx, p in enumerate(self._points):
             self._cells.setdefault(self._cell_of(p), []).append(idx)
+        # Tight per-cell bounds (min_x, min_y, max_x, max_y) over members.
+        self._bounds: Dict[Tuple[int, int], Tuple[float, float, float, float]] = {}
+        for cell, members in self._cells.items():
+            xs = [self._points[i][0] for i in members]
+            ys = [self._points[i][1] for i in members]
+            self._bounds[cell] = (min(xs), min(ys), max(xs), max(ys))
 
     def _cell_of(self, p: Point) -> Tuple[int, int]:
         return (int(math.floor(p[0] / self._cell_size)), int(math.floor(p[1] / self._cell_size)))
@@ -48,12 +62,45 @@ class SpatialGrid:
         cx, cy = self._cell_of(center)
         hits: List[int] = []
         radius_sq = radius * radius
+        px, py = center[0], center[1]
+        cells = self._cells
+        bounds = self._bounds
+        points = self._points
         for gx in range(cx - reach, cx + reach + 1):
+            inner_x = gx != cx - reach and gx != cx + reach
             for gy in range(cy - reach, cy + reach + 1):
-                for idx in self._cells.get((gx, gy), ()):
-                    p = self._points[idx]
-                    dx = p[0] - center[0]
-                    dy = p[1] - center[1]
+                members = cells.get((gx, gy))
+                if not members:
+                    continue
+                min_x, min_y, max_x, max_y = bounds[(gx, gy)]
+                if not (inner_x and gy != cy - reach and gy != cy + reach):
+                    # A cell on the outer ring of the scan square may miss
+                    # the disk entirely: if even the nearest point of the
+                    # cell's bounding box is outside, no member is inside.
+                    # (Interior cells always intersect — skip the test.)
+                    near_dx = (
+                        min_x - px
+                        if px < min_x
+                        else (px - max_x if px > max_x else 0.0)
+                    )
+                    near_dy = (
+                        min_y - py
+                        if py < min_y
+                        else (py - max_y if py > max_y else 0.0)
+                    )
+                    if near_dx * near_dx + near_dy * near_dy > radius_sq:
+                        continue
+                # Farthest corner of the bounding box inside the disk:
+                # every member is inside, skip the per-point checks.
+                far_dx = px - min_x if px - min_x > max_x - px else max_x - px
+                far_dy = py - min_y if py - min_y > max_y - py else max_y - py
+                if far_dx * far_dx + far_dy * far_dy <= radius_sq:
+                    hits.extend(members)
+                    continue
+                for idx in members:
+                    p = points[idx]
+                    dx = p[0] - px
+                    dy = p[1] - py
                     if dx * dx + dy * dy <= radius_sq:
                         hits.append(idx)
         return hits
@@ -75,6 +122,7 @@ class WirelessNetwork:
         self._neighbors: List[Tuple[int, ...]] = self._build_neighbor_lists()
         self._gabriel_cache: Dict[int, Tuple[int, ...]] = {}
         self._rng_cache: Dict[int, Tuple[int, ...]] = {}
+        self._neighbor_arrays: List[Optional[np.ndarray]] = [None] * len(self.nodes)
         self._nx_graph: Optional[nx.Graph] = None
 
     # ------------------------------------------------------------------
@@ -126,6 +174,25 @@ class WirelessNetwork:
     def are_neighbors(self, a: int, b: int) -> bool:
         """Whether nodes ``a`` and ``b`` share a direct radio link."""
         return b in self._neighbors[a]
+
+    def neighbor_location_array(self, node_id: int) -> np.ndarray:
+        """Locations of ``node_id``'s neighbors as a read-only ``(m, 2)`` array.
+
+        Aligned with :meth:`neighbors_of`.  Built once per node and cached —
+        every next-hop scan used to re-gather the same rows from
+        :attr:`locations` on each forwarding decision, which dominated the
+        per-hop cost for the vectorized protocols.
+        """
+        cached = self._neighbor_arrays[node_id]
+        if cached is None:
+            ids = self._neighbors[node_id]
+            if ids:
+                cached = self.locations[list(ids)]
+            else:
+                cached = np.empty((0, 2), dtype=float)
+            cached.setflags(write=False)
+            self._neighbor_arrays[node_id] = cached
+        return cached
 
     def average_degree(self) -> float:
         """Mean neighbor count across nodes — the usual density proxy."""

@@ -1,0 +1,41 @@
+"""Performance layer: instrumentation, hot-path caches, parallel fan-out.
+
+Three cooperating modules, none of which may change simulation *results*:
+
+* :mod:`repro.perf.counters` — process-local cache hit/miss counters and
+  stage wall-time accounting (with an *injected* clock, so simulation code
+  never reads the wall clock itself — reprolint R002).
+* :mod:`repro.perf.cache` — memoization of the per-hop geometry hot path
+  (Fermat points, reduction ratios, rrSTR trees), keyed on exact coordinate
+  tuples so a hit is bit-identical to a fresh computation.
+* :mod:`repro.perf.parallel` — a deterministic process-pool runner that
+  shards independent work units and merges results in canonical submission
+  order, guaranteeing parallel output identical to the serial run.
+"""
+
+from repro.perf.cache import (
+    TreeCache,
+    cache_stats,
+    cached_fermat_point,
+    cached_reduction_ratio_point,
+    caches_disabled,
+    clear_caches,
+    set_caching_enabled,
+)
+from repro.perf.counters import GLOBAL_COUNTERS, CacheCounter, PerfCounters, StageTimer
+from repro.perf.parallel import run_units
+
+__all__ = [
+    "TreeCache",
+    "cache_stats",
+    "cached_fermat_point",
+    "cached_reduction_ratio_point",
+    "caches_disabled",
+    "clear_caches",
+    "set_caching_enabled",
+    "GLOBAL_COUNTERS",
+    "CacheCounter",
+    "PerfCounters",
+    "StageTimer",
+    "run_units",
+]

@@ -1,0 +1,149 @@
+"""Cache hit/miss counters and per-stage wall-time accounting.
+
+Counters are process-local: a parallel worker accumulates into its own
+``GLOBAL_COUNTERS`` and ships a snapshot *delta* back with its results, which
+the parent merges (see :func:`repro.experiments.sweep.run_sweep_unit`), so
+hit rates surface correctly for serial and parallel runs alike.
+
+Wall time is never read here: :class:`StageTimer` takes an explicit ``clock``
+callable (``time.perf_counter`` injected by the CLI / scripts layer, or
+``None`` for a no-op).  Simulation code stays free of wall-clock reads
+(reprolint R002); timing is an operator-layer concern.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+
+class CacheCounter:
+    """Hit/miss tally of one named cache."""
+
+    __slots__ = ("name", "hits", "misses")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CacheCounter({self.name}: {self.hits}h/{self.misses}m)"
+
+
+class PerfCounters:
+    """A registry of cache counters plus named stage wall times."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, CacheCounter] = {}
+        self._stage_seconds: Dict[str, float] = {}
+
+    def counter(self, name: str) -> CacheCounter:
+        """Get-or-create the counter called ``name``."""
+        found = self._counters.get(name)
+        if found is None:
+            found = CacheCounter(name)
+            self._counters[name] = found
+        return found
+
+    def add_stage_seconds(self, stage: str, seconds: float) -> None:
+        """Accumulate measured wall time under ``stage``."""
+        self._stage_seconds[stage] = self._stage_seconds.get(stage, 0.0) + seconds
+
+    def stage_seconds(self, stage: str) -> float:
+        return self._stage_seconds.get(stage, 0.0)
+
+    # ------------------------------------------------------------------
+    # Snapshots (flat dicts — picklable, mergeable across processes)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat ``{"<cache>.hits": n, ..., "stage.<name>": s}`` state."""
+        out: Dict[str, float] = {}
+        for name, ctr in self._counters.items():
+            out[f"{name}.hits"] = float(ctr.hits)
+            out[f"{name}.misses"] = float(ctr.misses)
+        for stage, seconds in self._stage_seconds.items():
+            out[f"stage.{stage}"] = seconds
+        return out
+
+    def delta_since(self, before: Mapping[str, float]) -> Dict[str, float]:
+        """Counter movement since a prior :meth:`snapshot` (zeros dropped)."""
+        now = self.snapshot()
+        delta = {}
+        for key, value in now.items():
+            moved = value - before.get(key, 0.0)
+            if moved:
+                delta[key] = moved
+        return delta
+
+    def merge_delta(self, delta: Mapping[str, float]) -> None:
+        """Fold a worker's snapshot delta into this registry."""
+        for key, value in delta.items():
+            if key.startswith("stage."):
+                self.add_stage_seconds(key[len("stage."):], value)
+                continue
+            name, _, field = key.rpartition(".")
+            ctr = self.counter(name)
+            if field == "hits":
+                ctr.hits += int(value)
+            elif field == "misses":
+                ctr.misses += int(value)
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._stage_seconds.clear()
+
+    def render(self) -> str:
+        """One line per cache / stage, for operator-facing reports."""
+        lines = []
+        for name, ctr in sorted(self._counters.items()):
+            lines.append(
+                f"{name}: {ctr.hits} hits / {ctr.misses} misses "
+                f"({100.0 * ctr.hit_rate:.1f}% hit rate)"
+            )
+        for stage, seconds in sorted(self._stage_seconds.items()):
+            lines.append(f"stage {stage}: {seconds:.3f}s")
+        return "\n".join(lines) if lines else "(no perf counters recorded)"
+
+
+#: Process-wide registry every cache reports into.
+GLOBAL_COUNTERS = PerfCounters()
+
+
+class StageTimer:
+    """Context manager accumulating one stage's wall time via an injected clock.
+
+    ``clock`` is a zero-argument callable returning seconds (the operator
+    layer passes ``time.perf_counter``); with ``clock=None`` the timer is a
+    no-op, so library code can wrap stages unconditionally.
+    """
+
+    def __init__(
+        self,
+        stage: str,
+        clock: Optional[Callable[[], float]] = None,
+        counters: Optional[PerfCounters] = None,
+    ) -> None:
+        self._stage = stage
+        self._clock = clock
+        self._counters = counters if counters is not None else GLOBAL_COUNTERS
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "StageTimer":
+        if self._clock is not None:
+            self._start = self._clock()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._clock is not None and self._start is not None:
+            self._counters.add_stage_seconds(self._stage, self._clock() - self._start)

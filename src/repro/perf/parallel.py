@@ -1,0 +1,69 @@
+"""Deterministic process-pool fan-out over independent work units.
+
+The contract: ``run_units(fn, args_list, workers)`` returns exactly
+``[fn(*args) for args in args_list]`` — same values, same order — no matter
+how many workers execute it.  That holds because
+
+* every unit is a pure function of its arguments (networks and task batches
+  are re-derived from seeds inside the worker, never shipped),
+* results are collected by *submission index*, never completion order,
+* workers share no mutable state with the parent or each other.
+
+Worker processes keep per-process memos (see
+:func:`repro.experiments.sweep.cached_network`), so each worker reconstructs
+a given network once and reuses it across all units it executes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+ProgressFn = Callable[[str], None]
+
+
+def run_units(
+    fn: Callable[..., Any],
+    args_list: Sequence[Tuple[Any, ...]],
+    workers: int = 1,
+    progress: Optional[ProgressFn] = None,
+    describe: Optional[Callable[[int], str]] = None,
+) -> List[Any]:
+    """Run ``fn(*args)`` for every args tuple, results in submission order.
+
+    Args:
+        fn: A picklable module-level function (executed in-process when
+            ``workers <= 1``, in a :class:`~concurrent.futures.ProcessPoolExecutor`
+            otherwise).
+        args_list: One picklable argument tuple per unit.
+        workers: Process count; ``<= 1`` means serial in-process execution.
+        progress: Optional callback, invoked once per completed unit.
+        describe: Optional unit-index -> label used in progress messages.
+
+    Returns:
+        ``[fn(*args) for args in args_list]`` — bit-identical regardless of
+        ``workers``.
+    """
+
+    def say(index: int) -> None:
+        if progress is not None:
+            label = describe(index) if describe is not None else f"unit {index + 1}"
+            progress(f"{label} done ({index + 1}/{len(args_list)})")
+
+    if workers <= 1 or len(args_list) <= 1:
+        results = []
+        for index, args in enumerate(args_list):
+            results.append(fn(*args))
+            say(index)
+        return results
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    results = [None] * len(args_list)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(fn, *args) for args in args_list]
+        # Collect by submission index — canonical merge order; completion
+        # order (which is scheduling-dependent) never influences output.
+        for index, future in enumerate(futures):
+            results[index] = future.result()
+            say(index)
+    return results

@@ -74,11 +74,13 @@ class NodeView:
         return self._network.location_of(neighbor_id)
 
     def neighbor_location_array(self) -> np.ndarray:
-        """Neighbor locations as an ``(m, 2)`` array aligned with ``neighbor_ids``."""
-        ids = self.neighbor_ids
-        if not ids:
-            return np.empty((0, 2), dtype=float)
-        return self._network.locations[list(ids)]
+        """Neighbor locations as an ``(m, 2)`` array aligned with ``neighbor_ids``.
+
+        Backed by the network's per-node cache: the rows are gathered once
+        per node per deployment, not once per forwarding decision.  The
+        array is read-only — protocols must not scribble on shared state.
+        """
+        return self._network.neighbor_location_array(self.node_id)
 
 
 class RoutingProtocol(abc.ABC):

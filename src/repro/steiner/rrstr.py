@@ -32,8 +32,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 
 from repro.geometry import Point, distance, nearly_equal_points
-from repro.geometry.fermat import fermat_point
-from repro.steiner.reduction_ratio import reduction_ratio_point
+from repro.perf.cache import cached_fermat_point, cached_reduction_ratio_point
 from repro.steiner.tree import SteinerTree
 
 #: Heap key guaranteed to sort after every true pair's key (-RR <= ~0) so
@@ -114,7 +113,7 @@ def rrstr(
         if u_vid == v_vid:
             entry = (_SELF_PAIR_KEY, sequence, u_vid, u_vid, tree.vertex(u_vid).location)
         else:
-            rr, steiner = reduction_ratio_point(
+            rr, steiner = cached_reduction_ratio_point(
                 s, tree.vertex(u_vid).location, tree.vertex(v_vid).location
             )
             entry = (-rr, sequence, u_vid, v_vid, steiner)
@@ -354,7 +353,7 @@ def _insert_virtuals(
                 for c2 in kids[i + 1 :]:
                     l1 = tree.vertex(c1).location
                     l2 = tree.vertex(c2).location
-                    w_loc = fermat_point(p_loc, l1, l2)
+                    w_loc = cached_fermat_point(p_loc, l1, l2)
                     saving = (
                         distance(p_loc, l1)
                         + distance(p_loc, l2)
@@ -422,7 +421,7 @@ def _relocate_virtuals(tree: SteinerTree, dead: set) -> bool:
         if len(star) < 3:
             continue  # Degenerate stars are handled by the splice pass.
         if len(star) == 3:
-            target = fermat_point(star[0], star[1], star[2])
+            target = cached_fermat_point(star[0], star[1], star[2])
         else:
             target = weiszfeld_point(star)
         old_cost = sum(distance(vertex.location, p) for p in star)

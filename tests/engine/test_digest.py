@@ -1,0 +1,58 @@
+"""Tests for the canonical task-result digests."""
+
+import numpy as np
+
+from repro.engine import EngineConfig, batch_digest, run_task, task_digest
+from repro.network import RadioConfig, build_network
+from repro.network.topology import uniform_random_topology
+from repro.routing import GMPProtocol
+
+
+def _network(seed=19, count=200):
+    rng = np.random.default_rng(seed)
+    points = uniform_random_topology(count, 1000.0, 1000.0, rng)
+    return build_network(points, RadioConfig())
+
+
+class TestTaskDigest:
+    def test_stable_across_reruns(self):
+        network = _network()
+        cfg = EngineConfig(collect_traces=True)
+        first = run_task(network, GMPProtocol(), 0, [40, 90, 150], config=cfg)
+        second = run_task(network, GMPProtocol(), 0, [40, 90, 150], config=cfg)
+        assert task_digest(first) == task_digest(second)
+
+    def test_differs_for_different_tasks(self):
+        network = _network()
+        a = run_task(network, GMPProtocol(), 0, [40, 90, 150])
+        b = run_task(network, GMPProtocol(), 0, [41, 90, 150])
+        assert task_digest(a) != task_digest(b)
+
+    def test_trace_contributes(self):
+        network = _network()
+        traced = run_task(
+            network, GMPProtocol(), 0, [40, 90, 150],
+            config=EngineConfig(collect_traces=True),
+        )
+        untraced = run_task(network, GMPProtocol(), 0, [40, 90, 150])
+        assert task_digest(traced) != task_digest(untraced)
+
+    def test_perf_instrumentation_excluded(self):
+        network = _network()
+        plain = run_task(network, GMPProtocol(), 0, [40, 90, 150])
+        instrumented = run_task(
+            network, GMPProtocol(), 0, [40, 90, 150],
+            config=EngineConfig(collect_perf=True),
+        )
+        assert instrumented.perf is not None
+        assert plain.perf is None
+        assert task_digest(plain) == task_digest(instrumented)
+
+
+class TestBatchDigest:
+    def test_order_sensitive(self):
+        network = _network()
+        a = run_task(network, GMPProtocol(), 0, [40, 90, 150], task_id=1)
+        b = run_task(network, GMPProtocol(), 5, [60, 120, 180], task_id=2)
+        assert batch_digest([a, b]) != batch_digest([b, a])
+        assert batch_digest([a, b]) == batch_digest([a, b])

@@ -36,6 +36,44 @@ class TestSpatialGrid:
         with pytest.raises(ValueError):
             grid.indices_within(Point(0, 0), -1)
 
+    @staticmethod
+    def _reference_scan(pts, cell_size, center, radius):
+        """The unpruned cell scan the optimized query must match exactly."""
+        import math
+
+        cells = {}
+        for idx, p in enumerate(pts):
+            key = (
+                int(math.floor(p[0] / cell_size)),
+                int(math.floor(p[1] / cell_size)),
+            )
+            cells.setdefault(key, []).append(idx)
+        reach = int(math.ceil(radius / cell_size))
+        cx = int(math.floor(center[0] / cell_size))
+        cy = int(math.floor(center[1] / cell_size))
+        hits = []
+        for gx in range(cx - reach, cx + reach + 1):
+            for gy in range(cy - reach, cy + reach + 1):
+                for idx in cells.get((gx, gy), []):
+                    p = pts[idx]
+                    if (p[0] - center[0]) ** 2 + (p[1] - center[1]) ** 2 <= radius**2:
+                        hits.append(idx)
+        return hits
+
+    def test_pruned_query_matches_reference_order_exactly(self, rng):
+        """Cell-bounds pruning (reject and bulk-accept) must not change the
+        returned indices *or their order* relative to the plain scan."""
+        pts = [Point(*rng.uniform(0, 1000, 2)) for _ in range(500)]
+        for cell_size in (40.0, 150.0):
+            grid = SpatialGrid(pts, cell_size=cell_size)
+            for center in (Point(500, 500), Point(10, 990), Point(-50, 420)):
+                # Small radii exercise the reject prune, large ones the
+                # bulk-accept (cell entirely inside the disk) path.
+                for radius in (0.0, 30.0, 160.0, 700.0):
+                    assert grid.indices_within(center, radius) == (
+                        self._reference_scan(pts, cell_size, center, radius)
+                    )
+
 
 class TestWirelessNetwork:
     def test_line_neighbors(self):

@@ -1,0 +1,75 @@
+"""Tests for the perf counter plumbing (hit rates, deltas, stage timing)."""
+
+from repro.perf.counters import CacheCounter, PerfCounters, StageTimer
+
+
+class TestCacheCounter:
+    def test_hit_rate(self):
+        counter = CacheCounter("c")
+        assert counter.hit_rate == 0.0
+        counter.hits = 3
+        counter.misses = 1
+        assert counter.hit_rate == 0.75
+
+
+class TestPerfCounters:
+    def test_snapshot_is_flat_and_detached(self):
+        perf = PerfCounters()
+        perf.counter("fermat").hits += 2
+        perf.counter("fermat").misses += 1
+        perf.add_stage_seconds("sweep", 0.5)
+        snap = perf.snapshot()
+        assert snap["fermat.hits"] == 2
+        assert snap["fermat.misses"] == 1
+        assert snap["stage.sweep"] == 0.5
+        perf.counter("fermat").hits += 10
+        assert snap["fermat.hits"] == 2  # a snapshot never moves
+
+    def test_delta_and_merge_round_trip(self):
+        perf = PerfCounters()
+        perf.counter("tree").hits += 1
+        before = perf.snapshot()
+        perf.counter("tree").hits += 4
+        perf.counter("tree").misses += 2
+        perf.add_stage_seconds("route", 1.25)
+        delta = perf.delta_since(before)
+        assert delta == {"tree.hits": 4, "tree.misses": 2, "stage.route": 1.25}
+
+        other = PerfCounters()
+        other.counter("tree").hits += 10
+        other.merge_delta(delta)
+        assert other.counter("tree").hits == 14
+        assert other.counter("tree").misses == 2
+        assert other.snapshot()["stage.route"] == 1.25
+
+    def test_reset(self):
+        perf = PerfCounters()
+        perf.counter("x").hits += 1
+        perf.add_stage_seconds("s", 2.0)
+        perf.reset()
+        assert perf.snapshot() == {}
+
+    def test_render_mentions_rates_and_stages(self):
+        perf = PerfCounters()
+        perf.counter("fermat").hits += 3
+        perf.counter("fermat").misses += 1
+        perf.add_stage_seconds("sweep", 0.25)
+        text = perf.render()
+        assert "fermat" in text
+        assert "75.0%" in text
+        assert "sweep" in text
+
+
+class TestStageTimer:
+    def test_accumulates_with_injected_clock(self):
+        ticks = iter([10.0, 12.5])
+        perf = PerfCounters()
+        with StageTimer("sweep", clock=lambda: next(ticks), counters=perf):
+            pass
+        assert perf.snapshot()["stage.sweep"] == 2.5
+
+    def test_noop_without_clock(self):
+        perf = PerfCounters()
+        with StageTimer("sweep", counters=perf):
+            pass
+        assert perf.snapshot() == {}
