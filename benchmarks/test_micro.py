@@ -8,13 +8,16 @@ sensor nodes where PBM's exponential subset enumeration is not.
 import numpy as np
 import pytest
 
-from repro.engine import run_task
+from repro.engine import EngineConfig, run_task
 from repro.geometry import Point
 from repro.geometry.fermat import fermat_point
+from repro.linklayer import LinkLayer, LinkLayerConfig
 from repro.network import RadioConfig, build_network
 from repro.network.topology import uniform_random_topology
 from repro.perf.cache import caches_disabled, clear_caches
 from repro.routing import GMPProtocol, LGSProtocol, PBMProtocol, SMTProtocol
+from repro.simkit.rng import RandomStreams
+from repro.simkit.simulator import Simulator
 from repro.steiner.kmb import kmb_steiner_tree
 from repro.steiner.mst import euclidean_mst
 from repro.steiner.rrstr import RRStrConfig, rrstr
@@ -122,3 +125,47 @@ def test_bench_task_execution_gmp_cold(benchmark, micro_network):
             return run_task(micro_network, GMPProtocol(), 0, dests)
 
     benchmark.pedantic(cold_task, rounds=3, iterations=1)
+
+
+def test_bench_task_execution_gmp_contended(benchmark, micro_network):
+    """The same GMP task through the CSMA/ARQ link layer (beacons off).
+
+    The gap to ``test_bench_task_execution[GMP]`` is the price of the
+    discrete-event MAC: carrier sense, backoff draws, and the ACK trains.
+    """
+    dests = [30, 90, 150, 210, 270, 330, 370, 399]
+    config = EngineConfig(
+        transmission_model="contended", link=LinkLayerConfig(beacons=False)
+    )
+    benchmark.pedantic(
+        run_task,
+        args=(micro_network, GMPProtocol(), 0, dests),
+        kwargs={"config": config},
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_bench_beacon_round(benchmark, micro_network):
+    """One full HELLO period over 400 contending nodes."""
+    link_config = LinkLayerConfig(warm_start=False)
+
+    def beacon_round():
+        simulator = Simulator()
+        link = LinkLayer(
+            network=micro_network,
+            simulator=simulator,
+            config=link_config,
+            streams=RandomStreams(17),
+            failed_node_ids=frozenset(),
+            deliver=lambda session, receiver, packet: None,
+            charge=lambda session, sender, size, counted: None,
+            copy_loss=lambda session, receiver: False,
+        )
+        link.start_beacons(link_config.beacon_period_s)
+        simulator.run(
+            until=2.0 * link_config.beacon_period_s, max_events=2_000_000
+        )
+        return link.stats.global_count("beacons_sent")
+
+    benchmark.pedantic(beacon_round, rounds=3, iterations=1)

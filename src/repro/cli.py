@@ -40,6 +40,7 @@ _FIGURE_COMMANDS = (
     "figures",  # alias of "all"
     "ablations",
     "robustness",
+    "contention",
 )
 
 
@@ -117,6 +118,22 @@ def _make_config(args: argparse.Namespace) -> PaperConfig:
     return PaperConfig(**kwargs)
 
 
+def _write_json(
+    path: str,
+    figures_payload: Dict,
+    scale_name: str,
+    master_seed: int,
+    progress,
+) -> None:
+    """Write a figure payload (plus run provenance) as JSON."""
+    payload = dict(figures_payload)
+    payload["scale"] = scale_name
+    payload["master_seed"] = master_seed
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    progress(f"wrote {path}")
+
+
 def _run_lint(args: argparse.Namespace) -> int:
     from repro.analysis import analyze_paths, default_registry
 
@@ -158,19 +175,82 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "robustness":
-        from repro.experiments.robustness import link_loss_sweep, node_failure_sweep
+        from repro.experiments.robustness import (
+            link_loss_sweep,
+            node_failure_sweep,
+            robustness_scale_by_name,
+        )
 
-        progress("running robustness sweeps ...")
+        robust_scale = robustness_scale_by_name(args.scale)
+        progress(f"running robustness sweeps at scale {robust_scale.name!r} ...")
         robust_config = _make_config(args)
         if args.nodes is None:
             robust_config = PaperConfig(
                 node_count=400, master_seed=robust_config.master_seed
             )
-        delivery, energy = link_loss_sweep(robust_config)
-        crash = node_failure_sweep(robust_config)
-        for fig in (delivery, energy, crash):
+        delivery, energy = link_loss_sweep(robust_config, scale=robust_scale)
+        crash = node_failure_sweep(robust_config, scale=robust_scale)
+        robustness_figures = (delivery, energy, crash)
+        for fig in robustness_figures:
             print(render_figure_table(fig, precision=3))
             print()
+        if args.json_path:
+            _write_json(
+                args.json_path,
+                {fig.figure_id: fig.to_json_dict() for fig in robustness_figures},
+                robust_scale.name,
+                robust_config.master_seed,
+                progress,
+            )
+        if args.perf:
+            print(GLOBAL_COUNTERS.render(), file=sys.stderr)
+        return 0
+
+    if args.command == "contention":
+        from repro.experiments.contention import (
+            arq_ablation,
+            contention_scale_by_name,
+            contention_sweep,
+        )
+
+        contention_scale = contention_scale_by_name(args.scale)
+        if args.nodes is not None:
+            # Contended runs size the deployment from their scale preset,
+            # not from Table 1 — --nodes overrides the preset.
+            import dataclasses
+
+            contention_scale = dataclasses.replace(
+                contention_scale, node_count=args.nodes
+            )
+        progress(
+            f"running contention sweeps at scale {contention_scale.name!r} ..."
+        )
+        contention_figures = contention_sweep(
+            config,
+            scale=contention_scale,
+            progress=progress,
+            workers=args.workers,
+        )
+        progress("running ARQ ablation ...")
+        contention_figures["contention-arq"] = arq_ablation(
+            config,
+            scale=contention_scale,
+            progress=progress,
+            workers=args.workers,
+        )
+        for fig in contention_figures.values():
+            print(render_figure_table(fig, precision=3))
+            print()
+        if args.json_path:
+            _write_json(
+                args.json_path,
+                {name: fig.to_json_dict() for name, fig in contention_figures.items()},
+                contention_scale.name,
+                config.master_seed,
+                progress,
+            )
+        if args.perf:
+            print(GLOBAL_COUNTERS.render(), file=sys.stderr)
         return 0
 
     if args.command == "ablations":
@@ -220,12 +300,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print()
 
     if args.json_path:
-        payload = {name: fig.to_json_dict() for name, fig in figures.items()}
-        payload["scale"] = scale.name
-        payload["master_seed"] = config.master_seed
-        with open(args.json_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-        progress(f"wrote {args.json_path}")
+        _write_json(
+            args.json_path,
+            {name: fig.to_json_dict() for name, fig in figures.items()},
+            scale.name,
+            config.master_seed,
+            progress,
+        )
     if args.perf:
         print(GLOBAL_COUNTERS.render(), file=sys.stderr)
     return 0

@@ -7,8 +7,13 @@ their airtime, charges the Section-5.3 energy model for every transmission
 the Figure-15 experiment, and collects per-task statistics.
 """
 
-from repro.engine.digest import batch_digest, task_digest
-from repro.engine.runner import DEFAULT_ENGINE_CONFIG, EngineConfig, run_task
+from repro.engine.digest import batch_digest, delivery_digest, task_digest
+from repro.engine.runner import (
+    DEFAULT_ENGINE_CONFIG,
+    EngineConfig,
+    run_contended_tasks,
+    run_task,
+)
 from repro.engine.stats import TaskResult, summarize_results
 from repro.engine.trace import CopyRecord, FrameRecord, TaskTrace
 
@@ -16,6 +21,7 @@ __all__ = [
     "DEFAULT_ENGINE_CONFIG",
     "EngineConfig",
     "run_task",
+    "run_contended_tasks",
     "TaskResult",
     "summarize_results",
     "TaskTrace",
@@ -23,4 +29,5 @@ __all__ = [
     "CopyRecord",
     "task_digest",
     "batch_digest",
+    "delivery_digest",
 ]

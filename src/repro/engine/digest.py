@@ -58,6 +58,27 @@ def task_digest(result: TaskResult) -> str:
     return hashlib.sha256(payload).hexdigest()
 
 
+def delivery_digest(result: TaskResult) -> str:
+    """Hex SHA-256 of the *delivery outcome* only.
+
+    Hashes who was asked for and who was reached at what hop count —
+    nothing about timing, energy, or the on-air history.  This is the
+    equivalence currency between transmission models: a loss-free contended
+    run must reproduce the default model's delivery digest exactly even
+    though MAC timing makes every timestamp (and hence :func:`task_digest`)
+    differ.
+    """
+    lines = [
+        f"task={result.task_id}",
+        f"protocol={result.protocol}",
+        f"source={result.source_id}",
+        f"destinations={result.destination_ids}",
+        f"delivered={sorted(result.delivered_hops.items())}",
+    ]
+    payload = "\n".join(lines).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
 def batch_digest(results: Iterable[TaskResult]) -> str:
     """Order-sensitive digest of a whole result batch."""
     digest = hashlib.sha256()

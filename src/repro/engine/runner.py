@@ -3,19 +3,22 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.engine.stats import TaskResult
 from repro.engine.trace import CopyRecord, FrameRecord, TaskTrace
+from repro.linklayer.config import DEFAULT_LINK_CONFIG, LinkLayerConfig
+from repro.linklayer.frame import DATA
+from repro.linklayer.mac import CopyOutcome, LinkLayer
 from repro.network.energy import EnergyMeter, EnergyModel
 from repro.network.graph import WirelessNetwork
 from repro.packets import Destination, MulticastPacket
 from repro.perf.counters import GLOBAL_COUNTERS
 from repro.routing.base import ForwardDecision, NodeView, RoutingProtocol
 from repro.simkit import SimulationError, Simulator
-from repro.simkit.rng import derive_seed
+from repro.simkit.rng import RandomStreams, derive_seed
 
 
 @dataclass(frozen=True)
@@ -34,7 +37,12 @@ class EngineConfig:
             protocol's :attr:`RoutingProtocol.aggregates_copies`
             declaration; ``"broadcast"`` forces single-frame aggregation
             for everyone; ``"unicast"`` forces one transmission per copy
-            (the counting-model ablation).
+            (the counting-model ablation); ``"contended"`` routes every
+            frame through the CSMA/ARQ link layer of
+            :mod:`repro.linklayer` — frames queue per node, contend for
+            the shared channel, collide, and are retransmitted, with
+            neighbor knowledge served from HELLO-beacon tables.
+        link: Link-layer knobs, used only by the ``"contended"`` model.
         link_loss_rate: Probability that a transmitted copy is destroyed in
             flight (failure injection; energy is still charged — the frame
             was sent).  Zero by default: the paper's metrics assume a
@@ -71,9 +79,15 @@ class EngineConfig:
     charge_header_overhead: bool = False
     collect_traces: bool = False
     collect_perf: bool = False
+    link: LinkLayerConfig = DEFAULT_LINK_CONFIG
 
     def __post_init__(self) -> None:
-        if self.transmission_model not in ("protocol", "broadcast", "unicast"):
+        if self.transmission_model not in (
+            "protocol",
+            "broadcast",
+            "unicast",
+            "contended",
+        ):
             raise ValueError(
                 f"unknown transmission model {self.transmission_model!r}"
             )
@@ -108,10 +122,11 @@ class _TaskExecution:
         self.delivered_hops: Dict[int, int] = {}
         self.dropped_ttl = 0
         self.trace = trace
-        self._loss_rng = (
-            np.random.default_rng(derive_seed(config.loss_seed, "loss", task_id))
-            if config.link_loss_rate > 0.0
-            else None
+        # Created unconditionally so that turning loss on/off cannot shift
+        # any *other* stream's draws, and a zero-rate config still owns a
+        # well-defined loss process (it just never consumes from it).
+        self._loss_rng = np.random.default_rng(
+            derive_seed(config.loss_seed, "loss", task_id)
         )
 
     def transmit(self, sender_id: int, decisions: Sequence[ForwardDecision]) -> None:
@@ -192,7 +207,7 @@ class _TaskExecution:
         """Injected failure check for one in-flight copy."""
         if receiver_id in self.config.failed_node_ids:
             return True
-        if self._loss_rng is not None:
+        if self.config.link_loss_rate > 0.0:
             return bool(self._loss_rng.random() < self.config.link_loss_rate)
         return False
 
@@ -257,6 +272,17 @@ def run_task(
         baseline).
     """
     cfg = config or DEFAULT_ENGINE_CONFIG
+    if cfg.transmission_model == "contended":
+        # One task is one session on the contended channel; the single
+        # protocol instance is safe to reuse as the session "factory".
+        return run_contended_tasks(
+            network,
+            [(task_id, source_id, tuple(destination_ids))],
+            lambda: protocol,
+            config=cfg,
+            payload_bytes=payload_bytes,
+            collect_trace=collect_trace,
+        )[0]
     perf_before: Optional[Dict[str, float]] = (
         GLOBAL_COUNTERS.snapshot() if cfg.collect_perf else None
     )
@@ -332,3 +358,396 @@ def run_task(
         duration=execution.simulator.now,
         delivered=dict(execution.delivered_hops),
     )
+
+
+class _ContendedSession:
+    """Mutable state of one multicast session on the contended channel."""
+
+    __slots__ = (
+        "task_id",
+        "source_id",
+        "destination_ids",
+        "protocol",
+        "meter",
+        "delivered_hops",
+        "dropped_ttl",
+        "trace",
+        "loss_rng",
+        "start_s",
+        "last_activity_s",
+    )
+
+    def __init__(
+        self,
+        task_id: int,
+        source_id: int,
+        destination_ids: Tuple[int, ...],
+        protocol: RoutingProtocol,
+        meter: EnergyMeter,
+        trace: Optional[TaskTrace],
+        loss_rng: np.random.Generator,
+        start_s: float,
+    ) -> None:
+        self.task_id = task_id
+        self.source_id = source_id
+        self.destination_ids = destination_ids
+        self.protocol = protocol
+        self.meter = meter
+        self.delivered_hops: Dict[int, int] = {}
+        self.dropped_ttl = 0
+        self.trace = trace
+        self.loss_rng = loss_rng
+        self.start_s = start_s
+        self.last_activity_s = start_s
+
+
+class _ContendedRun:
+    """One simulator clock, one channel, many concurrent multicast sessions.
+
+    The routing semantics (validation, TTL, copy aggregation, header
+    accounting) intentionally mirror :class:`_TaskExecution` line for line;
+    only the medium differs — frames go through :class:`LinkLayer` queues
+    instead of arriving exactly one airtime later.
+    """
+
+    def __init__(
+        self,
+        network: WirelessNetwork,
+        tasks: Sequence[Tuple[int, int, Tuple[int, ...]]],
+        protocol_factory: Callable[[], RoutingProtocol],
+        config: EngineConfig,
+        start_times: Sequence[float],
+        payload_bytes: Optional[int],
+        collect_trace: bool,
+    ) -> None:
+        self.network = network
+        self.config = config
+        self.payload_bytes = payload_bytes
+        self.simulator = Simulator()
+        self.order: List[int] = [task_id for task_id, _, _ in tasks]
+        want_trace = collect_trace or config.collect_traces
+        self.sessions: Dict[int, _ContendedSession] = {}
+        for (task_id, source_id, dest_ids), start_s in zip(tasks, start_times):
+            self.sessions[task_id] = _ContendedSession(
+                task_id=task_id,
+                source_id=source_id,
+                destination_ids=dest_ids,
+                protocol=protocol_factory(),
+                meter=EnergyMeter(EnergyModel(network.radio)),
+                trace=TaskTrace() if want_trace else None,
+                loss_rng=np.random.default_rng(
+                    derive_seed(config.loss_seed, "loss", task_id)
+                ),
+                start_s=start_s,
+            )
+        #: Energy of traffic owned by no session (HELLO beacons).
+        self.infra_meter = EnergyMeter(EnergyModel(network.radio))
+        streams = RandomStreams(
+            derive_seed(config.loss_seed, "mac", tuple(self.order))
+        )
+        self.link = LinkLayer(
+            network=network,
+            simulator=self.simulator,
+            config=config.link,
+            streams=streams,
+            failed_node_ids=config.failed_node_ids,
+            deliver=self._deliver,
+            charge=self._charge,
+            copy_loss=self._copy_loss,
+            on_frame=self._on_frame if want_trace else None,
+        )
+
+    # ------------------------------------------------------ link callbacks
+
+    def _charge(
+        self,
+        session_id: Optional[int],
+        sender_id: int,
+        size_bytes: Optional[int],
+        count_transmission: bool,
+    ) -> None:
+        meter = (
+            self.sessions[session_id].meter
+            if session_id is not None
+            else self.infra_meter
+        )
+        meter.record_transmission(
+            sender_id,
+            self.network.listeners_of(sender_id),
+            size_bytes=size_bytes,
+            count_transmission=count_transmission,
+        )
+
+    def _copy_loss(self, session_id: int, receiver_id: int) -> bool:
+        del receiver_id  # the Bernoulli coin is per copy, not per receiver
+        if self.config.link_loss_rate <= 0.0:
+            return False
+        session = self.sessions[session_id]
+        return bool(session.loss_rng.random() < self.config.link_loss_rate)
+
+    def _on_frame(
+        self,
+        session_id: Optional[int],
+        kind: str,
+        sender_id: int,
+        start_s: float,
+        retry: int,
+        outcomes: Sequence[CopyOutcome],
+    ) -> None:
+        if session_id is None or kind != DATA:
+            return  # control traffic stays out of session traces
+        session = self.sessions[session_id]
+        if session.trace is None:
+            return
+        records = tuple(
+            CopyRecord(
+                receiver_id=receiver_id,
+                destination_ids=packet.destination_ids,
+                hop_count=packet.hop_count,
+                in_perimeter_mode=packet.in_perimeter_mode,
+                lost=lost,
+            )
+            for receiver_id, packet, lost in outcomes
+        )
+        session.trace.record(
+            FrameRecord(
+                time_s=start_s,
+                sender_id=sender_id,
+                copies=records,
+                transmissions_charged=1,
+                kind=kind,
+                retry=retry,
+            )
+        )
+
+    def _deliver(
+        self, session_id: int, receiver_id: int, packet: MulticastPacket
+    ) -> None:
+        session = self.sessions[session_id]
+        session.last_activity_s = self.simulator.now
+        if self.config.processing_delay_s > 0.0:
+            self.simulator.schedule_after(
+                self.config.processing_delay_s,
+                lambda: self._receive(session, receiver_id, packet),
+                label=f"rx@{receiver_id}",
+            )
+        else:
+            self._receive(session, receiver_id, packet)
+
+    # --------------------------------------------------------- routing path
+
+    def _receive(
+        self, session: _ContendedSession, node_id: int, packet: MulticastPacket
+    ) -> None:
+        if any(d.node_id == node_id for d in packet.destinations):
+            if node_id not in session.delivered_hops:
+                session.delivered_hops[node_id] = packet.hop_count
+            packet = packet.without_destination(node_id)
+        if not packet.destinations:
+            return
+        view = self.link.view(node_id)
+        decisions = session.protocol.handle(view, packet)
+        self._transmit(session, node_id, decisions)
+
+    def _transmit(
+        self,
+        session: _ContendedSession,
+        sender_id: int,
+        decisions: Sequence[ForwardDecision],
+    ) -> None:
+        if self.config.validate_decisions:
+            self._validate(session, sender_id, decisions)
+        live: List[ForwardDecision] = []
+        for decision in decisions:
+            if decision.packet.hop_count + 1 > self.config.max_path_length:
+                session.dropped_ttl += 1
+                continue
+            live.append(decision)
+        if not live:
+            return
+        # "contended" honours each protocol's framing, like "protocol".
+        aggregate = session.protocol.aggregates_copies
+        frame_bytes = None  # Table-1 flat message size.
+        if self.config.charge_header_overhead:
+            payload = live[0].packet.payload_bytes
+            headers = sum(d.packet.header_size_bytes() for d in live)
+            if aggregate:
+                frame_bytes = payload + headers
+            else:
+                frame_bytes = payload + max(1, headers // len(live))
+        copies = [(d.next_hop_id, d.packet.hopped()) for d in live]
+        if aggregate:
+            self.link.send_data(session.task_id, sender_id, copies, frame_bytes)
+        else:
+            for copy in copies:
+                self.link.send_data(
+                    session.task_id, sender_id, [copy], frame_bytes
+                )
+        session.last_activity_s = self.simulator.now
+
+    def _validate(
+        self,
+        session: _ContendedSession,
+        sender_id: int,
+        decisions: Sequence[ForwardDecision],
+    ) -> None:
+        seen: set = set()
+        for decision in decisions:
+            if not self.network.are_neighbors(sender_id, decision.next_hop_id):
+                raise SimulationError(
+                    f"{session.protocol.name} forwarded from {sender_id} to "
+                    f"non-neighbor {decision.next_hop_id}"
+                )
+            if session.protocol.duplicates_allowed:
+                continue
+            for dest in decision.packet.destinations:
+                if dest.node_id in seen:
+                    raise SimulationError(
+                        f"{session.protocol.name} duplicated destination "
+                        f"{dest.node_id} across copies at node {sender_id}"
+                    )
+                seen.add(dest.node_id)
+
+    # ------------------------------------------------------------ execution
+
+    def _start_session(self, session: _ContendedSession) -> None:
+        try:
+            session.protocol.prepare_task(
+                self.network, session.source_id, session.destination_ids
+            )
+        except ValueError:
+            return  # centralized preparation failed; session never starts
+        packet = MulticastPacket(
+            task_id=session.task_id,
+            source=Destination(
+                session.source_id, self.network.location_of(session.source_id)
+            ),
+            destinations=tuple(
+                Destination(d, self.network.location_of(d))
+                for d in session.destination_ids
+            ),
+            payload_bytes=self.payload_bytes
+            or self.network.radio.message_size_bytes,
+        )
+        self._receive(session, session.source_id, packet)
+
+    def run(self) -> List[TaskResult]:
+        horizon = (
+            max(session.start_s for session in self.sessions.values())
+            + self.config.link.session_timeout_s
+        )
+        for task_id in self.order:
+            session = self.sessions[task_id]
+            if session.destination_ids:
+                self.simulator.schedule_at(
+                    session.start_s,
+                    lambda s=session: self._start_session(s),
+                    label=f"session-start@{task_id}",
+                )
+        self.link.start_beacons(horizon)
+        max_events = self.config.max_events_per_task * max(1, len(self.order))
+        if self.config.link.beacons:
+            ticks = int(horizon / self.config.link.beacon_period_s) + 2
+            max_events += ticks * self.network.node_count * 8
+        self.simulator.run(until=horizon, max_events=max_events)
+        return [self._result_of(task_id) for task_id in self.order]
+
+    def _result_of(self, task_id: int) -> TaskResult:
+        session = self.sessions[task_id]
+        per_node: Dict[int, float] = dict(session.meter.tx_joules_by_node)
+        for node, joules in session.meter.rx_joules_by_node.items():
+            per_node[node] = per_node.get(node, 0.0) + joules
+        return TaskResult(
+            task_id=task_id,
+            protocol=session.protocol.name,
+            source_id=session.source_id,
+            destination_ids=session.destination_ids,
+            delivered_hops=dict(session.delivered_hops),
+            transmissions=session.meter.transmissions,
+            energy_joules=session.meter.total_joules,
+            duration_s=max(session.last_activity_s - session.start_s, 0.0),
+            dropped_ttl=session.dropped_ttl,
+            trace=session.trace,
+            hotspot_energy_joules=max(per_node.values(), default=0.0),
+            perf=self.link.stats.session_perf(task_id),
+        )
+
+
+def run_contended_tasks(
+    network: WirelessNetwork,
+    tasks: Sequence[Tuple[int, int, Sequence[int]]],
+    protocol_factory: Callable[[], RoutingProtocol],
+    config: EngineConfig | None = None,
+    start_times: Sequence[float] | None = None,
+    payload_bytes: int | None = None,
+    collect_trace: bool = False,
+) -> List[TaskResult]:
+    """Run multicast sessions concurrently over the contended link layer.
+
+    All sessions share one simulator clock, one CSMA channel, and one
+    beacon process, so they contend with each other for the air — the
+    regime the :mod:`repro.experiments.contention` sweep measures.
+
+    Args:
+        network: The deployed network.
+        tasks: ``(task_id, source_id, destination_ids)`` per session;
+            task ids must be unique (they key the sessions).
+        protocol_factory: Builds one *fresh* protocol instance per session
+            (protocols carry per-task state, which concurrent sessions must
+            not share).
+        config: Engine knobs; :attr:`EngineConfig.link` configures the MAC.
+            ``transmission_model`` is not consulted — calling this function
+            *is* choosing the contended model.
+        start_times: Session start time (seconds of virtual time) per task,
+            defaulting to all-zero (maximum contention).  The run ends
+            :attr:`LinkLayerConfig.session_timeout_s` after the last start.
+        payload_bytes: Message size (defaults to the radio's Table-1 size).
+        collect_trace: Attach a per-session :class:`TaskTrace` of DATA
+            frames (including retransmissions; control traffic excluded).
+
+    Returns:
+        One :class:`TaskResult` per task, in submission order.
+        ``result.perf`` carries the session's link-layer counters
+        (``mac.*``) plus the run-global infrastructure counters
+        (``link.*``) — instrumentation, excluded from digests.
+    """
+    cfg = config or DEFAULT_ENGINE_CONFIG
+    if start_times is None:
+        start_times = [0.0] * len(tasks)
+    if len(start_times) != len(tasks):
+        raise ValueError(
+            f"{len(tasks)} tasks but {len(start_times)} start times"
+        )
+    seen_ids: set = set()
+    normalized: List[Tuple[int, int, Tuple[int, ...]]] = []
+    for task_id, source_id, destination_ids in tasks:
+        if task_id in seen_ids:
+            raise ValueError(f"duplicate task id {task_id} in contended run")
+        seen_ids.add(task_id)
+        if not (0 <= source_id < network.node_count):
+            raise ValueError(f"source {source_id} is not a node of the network")
+        if source_id in cfg.failed_node_ids:
+            raise ValueError(f"source {source_id} is marked as a failed node")
+        unique: List[int] = []
+        dest_seen: set = set()
+        for d in destination_ids:
+            if d == source_id or d in dest_seen:
+                continue
+            if not (0 <= d < network.node_count):
+                raise ValueError(f"destination {d} is not a node of the network")
+            dest_seen.add(d)
+            unique.append(d)
+        normalized.append((task_id, source_id, tuple(unique)))
+    for start in start_times:
+        if start < 0.0:
+            raise ValueError(f"session start times must be >= 0, got {start}")
+    run = _ContendedRun(
+        network=network,
+        tasks=normalized,
+        protocol_factory=protocol_factory,
+        config=cfg,
+        start_times=start_times,
+        payload_bytes=payload_bytes,
+        collect_trace=collect_trace,
+    )
+    return run.run()

@@ -29,12 +29,20 @@ class CopyRecord:
 
 @dataclass(frozen=True)
 class FrameRecord:
-    """One radio transmission (frame) and the copies it carried."""
+    """One radio transmission (frame) and the copies it carried.
+
+    ``kind`` and ``retry`` only vary under the contended link layer (the
+    default engine emits ``kind="data"``, ``retry=0`` frames); they are
+    *not* part of the digest serialization so default-model digests are
+    unchanged by their existence.
+    """
 
     time_s: float
     sender_id: int
     copies: Tuple[CopyRecord, ...]
     transmissions_charged: int
+    kind: str = "data"
+    retry: int = 0
 
     @property
     def receiver_ids(self) -> Tuple[int, ...]:

@@ -48,6 +48,13 @@ from repro.experiments.robustness import (
     RobustnessScale,
     link_loss_sweep,
     node_failure_sweep,
+    robustness_scale_by_name,
+)
+from repro.experiments.contention import (
+    ContentionScale,
+    arq_ablation,
+    contention_scale_by_name,
+    contention_sweep,
 )
 from repro.experiments.statistics import (
     MeanCI,
@@ -88,6 +95,11 @@ __all__ = [
     "RobustnessScale",
     "link_loss_sweep",
     "node_failure_sweep",
+    "robustness_scale_by_name",
+    "ContentionScale",
+    "contention_scale_by_name",
+    "contention_sweep",
+    "arq_ablation",
     "MeanCI",
     "PairedComparison",
     "mean_confidence_interval",

@@ -39,11 +39,49 @@ DEFAULT_PROTOCOLS: Tuple[Tuple[str, ProtocolFactory], ...] = (
 class RobustnessScale:
     """Statistical scale of the robustness sweeps."""
 
+    name: str = "quick"
     network_count: int = 2
     tasks_per_network: int = 15
     group_size: int = 8
     loss_rates: Tuple[float, ...] = (0.0, 0.1, 0.2, 0.35, 0.5)
     failed_fractions: Tuple[float, ...] = (0.0, 0.05, 0.1, 0.2)
+
+
+SMOKE_ROBUSTNESS_SCALE = RobustnessScale(
+    name="smoke",
+    network_count=1,
+    tasks_per_network=5,
+    group_size=5,
+    loss_rates=(0.0, 0.2),
+    failed_fractions=(0.0, 0.1),
+)
+
+QUICK_ROBUSTNESS_SCALE = RobustnessScale()
+
+PAPER_ROBUSTNESS_SCALE = RobustnessScale(
+    name="paper",
+    network_count=5,
+    tasks_per_network=40,
+    group_size=10,
+    loss_rates=(0.0, 0.05, 0.1, 0.2, 0.35, 0.5),
+    failed_fractions=(0.0, 0.05, 0.1, 0.2, 0.3),
+)
+
+
+def robustness_scale_by_name(name: str) -> RobustnessScale:
+    """Resolve a scale preset; raises ``ValueError`` on unknown names."""
+    scales = {
+        "smoke": SMOKE_ROBUSTNESS_SCALE,
+        "quick": QUICK_ROBUSTNESS_SCALE,
+        "paper": PAPER_ROBUSTNESS_SCALE,
+    }
+    try:
+        return scales[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown robustness scale {name!r} (expected one of "
+            f"{sorted(scales)})"
+        ) from None
 
 
 def _delivery_and_energy(

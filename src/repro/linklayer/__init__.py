@@ -1,0 +1,38 @@
+"""Contended link/MAC layer: CSMA collisions, ARQ, and HELLO beacons.
+
+The default engine models a perfect scheduled channel — every transmission
+takes exactly its airtime and arrives unless explicitly failed or lossy.
+This package replaces that with the medium the paper actually simulated
+(ns-2 with an 802.11-style MAC): per-node FIFO transmit queues, carrier
+sense with a one-slot vulnerable window, per-receiver collision arbitration
+over a shared channel, per-copy acknowledgement/retransmission, and a HELLO
+beacon process that maintains the soft-state neighbor tables protocols
+route from.  The engine drives it through
+:class:`~repro.linklayer.mac.LinkLayer` when ``transmission_model`` is
+``"contended"``.
+"""
+
+from repro.linklayer.channel import Channel, Transmission
+from repro.linklayer.config import DEFAULT_LINK_CONFIG, LinkLayerConfig
+from repro.linklayer.frame import ACK, BEACON, DATA, Frame, FrameCopy
+from repro.linklayer.mac import LinkLayer, NodeMac
+from repro.linklayer.neighbors import BeaconNodeView, BeaconService, NeighborTable
+from repro.linklayer.stats import LinkStats
+
+__all__ = [
+    "ACK",
+    "BEACON",
+    "DATA",
+    "Channel",
+    "Transmission",
+    "DEFAULT_LINK_CONFIG",
+    "LinkLayerConfig",
+    "Frame",
+    "FrameCopy",
+    "LinkLayer",
+    "NodeMac",
+    "BeaconNodeView",
+    "BeaconService",
+    "NeighborTable",
+    "LinkStats",
+]

@@ -1,0 +1,119 @@
+"""Link/MAC layer parameters.
+
+The paper evaluates GMP on ns-2.27 with an 802.11 MAC (Table 1); the
+defaults here are scaled to the same 1 Mbps channel: CSMA slot/IFS timings
+in the tens of microseconds, a contention window doubling from 8 to 256
+slots, and a seven-retry ARQ cap (802.11's short retry limit).  All values
+are plain engine knobs — none of them is drawn from the paper's tables, so
+sweeps over them are extensions, not reproductions.
+
+Determinism contract: nothing in this module (or the rest of
+:mod:`repro.linklayer`) reads a clock or a global RNG.  Every random MAC
+delay is drawn from a named :class:`repro.simkit.rng.RandomStreams` stream
+(``("backoff", node_id)`` / ``("beacon", node_id)``) whose seed derives from
+the engine's ``loss_seed`` and the task ids, so any worker count replays the
+same contention history byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkLayerConfig:
+    """Knobs of the contended CSMA/ARQ/beacon link layer.
+
+    Attributes:
+        slot_time_s: Backoff slot length; also the carrier-sense delay (a
+            transmission is audible to other nodes only once it has been on
+            the air this long — the classic vulnerable window that makes
+            collisions possible at all).
+        sifs_s: Short inter-frame space before each ACK of the ACK train.
+        difs_s: Idle time a sender waits before (re)sensing the channel.
+        cw_min_slots: Initial contention window (backoff drawn uniformly
+            from ``[0, cw)`` slots).
+        cw_max_slots: Contention-window cap under exponential backoff.
+        arq: Per-copy acknowledgements and retransmission.  Off, a frame is
+            sent exactly once and collided/lost copies are gone — the
+            no-recovery ablation the robustness sweeps compare against.
+        max_retries: Retransmission attempts per copy before giving up.
+        ack_bytes: ACK frame size (charged to the session's energy).
+        carrier_sense_factor: Carrier-sense/interference radius as a
+            multiple of the radio range.  Transmissions from inside this
+            radius are sensed before transmitting and destroy overlapping
+            receptions; senders between 1x and this factor are the hidden /
+            exposed terminal band.
+        beacons: Run the HELLO beacon service during the simulation (beacon
+            frames contend for the channel like data).
+        beacon_period_s: Nominal HELLO period per node.
+        beacon_jitter_s: Uniform +/- jitter applied to each period so the
+            network never beacon-synchronizes.
+        beacon_expiry_s: Neighbor-table entries older than this are dropped;
+            crashed (or departed) nodes linger in their neighbors' tables
+            for up to this long — the stale-table failure window.
+        beacon_bytes: HELLO frame size (infrastructure energy, not charged
+            to any session).
+        warm_start: Pre-populate every neighbor table from a completed
+            beacon round at time zero (entries stamped ``last_heard=0``).
+            Without it the network is deaf until the first HELLO period.
+        session_timeout_s: Virtual-time horizon past the last session start
+            after which a contended run stops (bounds the beacon process;
+            data traffic normally quiesces long before).
+    """
+
+    slot_time_s: float = 20e-6
+    sifs_s: float = 10e-6
+    difs_s: float = 50e-6
+    cw_min_slots: int = 8
+    cw_max_slots: int = 256
+    arq: bool = True
+    max_retries: int = 7
+    ack_bytes: int = 14
+    carrier_sense_factor: float = 1.5
+    beacons: bool = True
+    beacon_period_s: float = 1.0
+    beacon_jitter_s: float = 0.2
+    beacon_expiry_s: float = 3.5
+    beacon_bytes: int = 32
+    warm_start: bool = True
+    session_timeout_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        for name in ("slot_time_s", "sifs_s", "difs_s"):
+            if getattr(self, name) <= 0.0:
+                raise ValueError(f"{name} must be positive, got {getattr(self, name)}")
+        if self.cw_min_slots < 1:
+            raise ValueError(f"cw_min_slots must be >= 1, got {self.cw_min_slots}")
+        if self.cw_max_slots < self.cw_min_slots:
+            raise ValueError(
+                f"cw_max_slots {self.cw_max_slots} < cw_min_slots {self.cw_min_slots}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.ack_bytes <= 0 or self.beacon_bytes <= 0:
+            raise ValueError("control frame sizes must be positive")
+        if self.carrier_sense_factor < 1.0:
+            raise ValueError(
+                "carrier_sense_factor below 1.0 would let a node talk over "
+                f"its own neighbors, got {self.carrier_sense_factor}"
+            )
+        if self.beacon_period_s <= 0.0 or self.beacon_expiry_s <= 0.0:
+            raise ValueError("beacon period and expiry must be positive")
+        if self.beacon_jitter_s < 0.0 or self.beacon_jitter_s >= self.beacon_period_s:
+            raise ValueError(
+                f"beacon jitter must be in [0, period), got {self.beacon_jitter_s}"
+            )
+        if self.beacon_expiry_s <= self.beacon_period_s:
+            raise ValueError(
+                "beacon expiry must exceed the period or live nodes would "
+                "flicker out of their neighbors' tables"
+            )
+        if self.session_timeout_s <= 0.0:
+            raise ValueError(
+                f"session timeout must be positive, got {self.session_timeout_s}"
+            )
+
+
+#: Shared immutable default, mirroring ``DEFAULT_ENGINE_CONFIG``.
+DEFAULT_LINK_CONFIG = LinkLayerConfig()

@@ -1,0 +1,73 @@
+"""Link-layer frames: what actually occupies the channel.
+
+Three frame kinds share the air.  ``DATA`` frames carry one or more routed
+packet copies (one per addressed receiver — the engine's copy-aggregation
+semantics decide how many copies ride one frame); ``ACK`` frames are the
+per-copy acknowledgements of the ARQ machinery; ``BEACON`` frames are the
+HELLO broadcasts feeding the neighbor/location tables.
+
+Every copy carries a link-layer unique id (:attr:`FrameCopy.copy_uid`)
+assigned once when the copy is first queued and preserved across
+retransmissions, so receivers can suppress the duplicate deliveries that a
+lost ACK would otherwise cause (send-side retransmission of an
+already-delivered copy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.packets import MulticastPacket
+
+#: Frame kinds (plain strings so traces stay readable).
+DATA = "data"
+ACK = "ack"
+BEACON = "beacon"
+
+
+@dataclass
+class FrameCopy:
+    """One routed packet copy addressed to one receiver inside a DATA frame.
+
+    Mutable on purpose: ``acked`` flips when the copy's ACK survives the
+    trip back, which is the single piece of send-side ARQ state.
+    """
+
+    receiver_id: int
+    packet: MulticastPacket
+    copy_uid: int
+    acked: bool = False
+
+
+@dataclass
+class Frame:
+    """One transmission's worth of bits.
+
+    Attributes:
+        kind: ``DATA`` / ``ACK`` / ``BEACON``.
+        sender_id: Transmitting node.
+        size_bytes: On-air size (drives airtime and energy).
+        session_id: Owning multicast session for DATA/ACK (``None`` for
+            beacons — infrastructure traffic belongs to no session).
+        copies: The packet copies a DATA frame carries (empty otherwise).
+        retry: Retransmission attempt number of a DATA frame (0 = first).
+        ack_copy_uid: For ACK frames, the :attr:`FrameCopy.copy_uid` being
+            acknowledged.
+        ack_target_id: For ACK frames, the DATA sender the ACK travels to.
+    """
+
+    kind: str
+    sender_id: int
+    size_bytes: int
+    session_id: Optional[int] = None
+    copies: Tuple[FrameCopy, ...] = field(default_factory=tuple)
+    retry: int = 0
+    ack_copy_uid: int = -1
+    ack_target_id: int = -1
+
+    def __post_init__(self) -> None:
+        if self.kind not in (DATA, ACK, BEACON):
+            raise ValueError(f"unknown frame kind {self.kind!r}")
+        if self.size_bytes <= 0:
+            raise ValueError(f"frame size must be positive, got {self.size_bytes}")

@@ -1,0 +1,51 @@
+"""Link-layer counters: what the channel did to the traffic.
+
+Counters are split by owning multicast session (collisions, retransmissions,
+ARQ drops, ...) with a global bucket for infrastructure traffic (beacons).
+They surface through ``TaskResult.perf`` — instrumentation that is excluded
+from result digests, like the perf-cache counters, because they describe the
+*path* the simulation took, not its outcome; the outcome (delivery, energy,
+timing) is digested separately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class LinkStats:
+    """Per-session and global tallies of link-layer events."""
+
+    def __init__(self) -> None:
+        self._per_session: Dict[int, Dict[str, int]] = {}
+        self._global: Dict[str, int] = {}
+
+    def bump(
+        self, key: str, session_id: Optional[int] = None, amount: int = 1
+    ) -> None:
+        """Add ``amount`` to ``key`` (session bucket, or global if ``None``)."""
+        if session_id is None:
+            self._global[key] = self._global.get(key, 0) + amount
+        else:
+            bucket = self._per_session.setdefault(session_id, {})
+            bucket[key] = bucket.get(key, 0) + amount
+
+    def session_count(self, session_id: int, key: str) -> int:
+        return self._per_session.get(session_id, {}).get(key, 0)
+
+    def global_count(self, key: str) -> int:
+        return self._global.get(key, 0)
+
+    def session_perf(self, session_id: int) -> Dict[str, float]:
+        """Flat perf mapping for one session: ``mac.*`` plus global ``link.*``.
+
+        The global (infrastructure) counters are repeated in every session's
+        view — they describe the shared channel all sessions ran over.
+        """
+        out: Dict[str, float] = {}
+        bucket = self._per_session.get(session_id, {})
+        for key in sorted(bucket):
+            out[f"mac.{key}"] = float(bucket[key])
+        for key in sorted(self._global):
+            out[f"link.{key}"] = float(self._global[key])
+        return out

@@ -57,8 +57,15 @@ class EnergyMeter:
         sender_id: int,
         listener_ids,
         size_bytes: int | None = None,
+        count_transmission: bool = True,
     ) -> float:
-        """Charge one transmission; returns the Joules it cost in total."""
+        """Charge one transmission; returns the Joules it cost in total.
+
+        ``count_transmission=False`` charges the energy without bumping the
+        :attr:`transmissions` tally — used by the contended link layer for
+        control traffic (ACKs, beacons) so the reported transmission count
+        keeps meaning "data-frame sends", comparable to the default model.
+        """
         tx = self.model.tx_energy(size_bytes)
         rx = self.model.rx_energy(size_bytes)
         self.tx_joules_by_node[sender_id] = (
@@ -70,7 +77,8 @@ class EnergyMeter:
                 self.rx_joules_by_node.get(listener, 0.0) + rx
             )
             total += rx
-        self.transmissions += 1
+        if count_transmission:
+            self.transmissions += 1
         return total
 
     @property

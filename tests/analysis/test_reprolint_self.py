@@ -23,6 +23,15 @@ def test_source_tree_has_no_findings():
     assert report.clean, "reprolint findings in src/:\n" + report.render()
 
 
+def test_linklayer_package_is_covered_and_clean():
+    # The MAC subsystem is all timing-sensitive event code; hold it to the
+    # determinism rules on its own so a src/-walk regression can't hide it.
+    package = SRC / "linklayer"
+    report = analyze_paths([str(package)])
+    assert report.files_checked >= 6, "lint walk missed linklayer modules"
+    assert report.clean, "reprolint findings in linklayer/:\n" + report.render()
+
+
 def test_suppression_directives_stay_rare():
     report = analyze_paths([str(SRC)])
     assert report.directive_count <= MAX_SUPPRESSION_DIRECTIVES, (

@@ -1,0 +1,1 @@
+"""Tests of the contended link/MAC subsystem."""

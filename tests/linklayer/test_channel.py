@@ -1,0 +1,124 @@
+"""Channel semantics: carrier sense, NAV, and per-receiver collisions."""
+
+import pytest
+
+from repro.linklayer.channel import Channel
+from repro.linklayer.frame import DATA, Frame
+from tests.conftest import make_line_network
+
+
+def line_channel(node_count=5, spacing=100.0, factor=1.5):
+    """Nodes 100 m apart, range 150 m: neighbors at 1 hop, carrier sense
+    (1.5x -> 225 m) reaches 2 hops."""
+    network = make_line_network(node_count, spacing)
+    return network, Channel(network, factor)
+
+
+def data_frame(sender):
+    return Frame(kind=DATA, sender_id=sender, size_bytes=128)
+
+
+class TestInterferers:
+    def test_radius_is_factor_times_range(self):
+        _, channel = line_channel()
+        # 225 m carrier-sense radius: nodes at 100 and 200 are in, 300 out.
+        assert channel.interferers_of(0) == frozenset({1, 2})
+
+    def test_excludes_self_and_is_symmetric(self):
+        _, channel = line_channel()
+        for node in range(5):
+            assert node not in channel.interferers_of(node)
+            for other in channel.interferers_of(node):
+                assert node in channel.interferers_of(other)
+
+    def test_factor_below_one_rejected(self):
+        network = make_line_network(3, 100.0)
+        with pytest.raises(ValueError):
+            Channel(network, 0.5)
+
+
+class TestCarrierSense:
+    def test_idle_channel(self):
+        _, channel = line_channel()
+        assert channel.busy_until(0, 0.0, 20e-6) is None
+
+    def test_vulnerable_window(self):
+        # A transmission is inaudible for sensing_delay after it starts:
+        # that window is what makes CSMA collisions possible.
+        _, channel = line_channel()
+        channel.begin(data_frame(1), 0.0, 1e-3)
+        assert channel.busy_until(0, 10e-6, 20e-6) is None  # too fresh
+        assert channel.busy_until(0, 20e-6, 20e-6) == 1e-3  # now audible
+
+    def test_out_of_range_sender_inaudible(self):
+        _, channel = line_channel()
+        channel.begin(data_frame(4), 0.0, 1e-3)  # 400 m from node 0
+        assert channel.busy_until(0, 0.5e-3, 20e-6) is None
+
+    def test_latest_end_wins(self):
+        _, channel = line_channel()
+        channel.begin(data_frame(1), 0.0, 1e-3)
+        channel.begin(data_frame(2), 0.0, 2e-3)
+        assert channel.busy_until(0, 1e-4, 20e-6) == 2e-3
+
+    def test_finish_frees_the_air(self):
+        _, channel = line_channel()
+        tx = channel.begin(data_frame(1), 0.0, 1e-3)
+        assert channel.active_count == 1
+        channel.finish(tx)
+        assert channel.active_count == 0
+        assert channel.busy_until(0, 2e-3, 20e-6) is None
+
+    def test_nav_reservation_counts_as_busy(self):
+        _, channel = line_channel()
+        channel.reserve(frozenset({0, 1}), 5e-3)
+        assert channel.busy_until(0, 1e-3, 20e-6) == 5e-3
+        assert channel.busy_until(2, 1e-3, 20e-6) is None  # not reserved
+        assert channel.busy_until(0, 6e-3, 20e-6) is None  # expired
+
+    def test_nav_never_shrinks(self):
+        _, channel = line_channel()
+        channel.reserve(frozenset({0}), 5e-3)
+        channel.reserve(frozenset({0}), 2e-3)
+        assert channel.busy_until(0, 1e-3, 20e-6) == 5e-3
+
+
+class TestCollisions:
+    def test_overlap_within_interference_range_destroys_both(self):
+        _, channel = line_channel()
+        # Senders 0 and 2 both transmit; node 1 hears both.
+        tx_a = channel.begin(data_frame(0), 0.0, 1e-3)
+        tx_b = channel.begin(data_frame(2), 0.5e-3, 1e-3)
+        assert channel.reception_collided(tx_a, 1)
+        assert channel.reception_collided(tx_b, 1)
+
+    def test_capture_far_receiver_survives(self):
+        # The same two frames, judged at node 3: sender 2 is its neighbor
+        # (100 m) while sender 0 is 300 m away — outside the 225 m
+        # interference radius — so node 3's copy survives (capture).
+        _, channel = line_channel()
+        channel.begin(data_frame(0), 0.0, 1e-3)
+        tx_b = channel.begin(data_frame(2), 0.5e-3, 1e-3)
+        assert not channel.reception_collided(tx_b, 3)
+
+    def test_non_overlapping_frames_do_not_collide(self):
+        _, channel = line_channel()
+        tx_a = channel.begin(data_frame(0), 0.0, 1e-3)
+        channel.finish(tx_a)
+        tx_b = channel.begin(data_frame(2), 2e-3, 1e-3)
+        assert not channel.reception_collided(tx_a, 1)
+        assert not channel.reception_collided(tx_b, 1)
+
+    def test_half_duplex_receiver(self):
+        # A node transmitting during a frame's airtime cannot receive it,
+        # even if the other sender is outside its interference radius.
+        network = make_line_network(8, 100.0)
+        channel = Channel(network, 1.5)
+        tx_data = channel.begin(data_frame(0), 0.0, 1e-3)
+        channel.begin(data_frame(1), 0.2e-3, 1e-3)  # node 1 talks over it
+        assert channel.reception_collided(tx_data, 1)
+
+    def test_positive_airtime_required(self):
+        _, channel = line_channel()
+        with pytest.raises(ValueError):
+            channel.begin(data_frame(0), 0.0, 0.0)

@@ -1,0 +1,224 @@
+"""MAC state machine and ARQ semantics, driven directly on a simulator."""
+
+from typing import Optional
+
+from repro.linklayer import LinkLayer, LinkLayerConfig
+from repro.packets import Destination, MulticastPacket
+from repro.simkit.rng import RandomStreams
+from repro.simkit.simulator import Simulator
+from tests.conftest import make_line_network
+
+
+def make_packet(network, source_id, dest_id, task_id=0):
+    return MulticastPacket(
+        task_id=task_id,
+        source=Destination(source_id, network.location_of(source_id)),
+        destinations=(Destination(dest_id, network.location_of(dest_id)),),
+        payload_bytes=128,
+    )
+
+
+class Host:
+    """A recording engine stand-in wired into a LinkLayer."""
+
+    def __init__(
+        self,
+        network,
+        config: Optional[LinkLayerConfig] = None,
+        failed=frozenset(),
+        loss_fn=None,
+    ):
+        self.network = network
+        self.simulator = Simulator()
+        self.delivered = []  # (time_s, session, receiver, packet)
+        self.charges = []  # (session, sender, size_bytes, counted)
+        self.frames = []  # (session, kind, sender, start_s, retry, outcomes)
+        self._loss_fn = loss_fn or (lambda session, receiver: False)
+        self.link = LinkLayer(
+            network=network,
+            simulator=self.simulator,
+            config=config or LinkLayerConfig(beacons=False),
+            streams=RandomStreams(42),
+            failed_node_ids=frozenset(failed),
+            deliver=self._deliver,
+            charge=self._charge,
+            copy_loss=self._loss_fn,
+            on_frame=self._on_frame,
+        )
+
+    def _deliver(self, session, receiver, packet):
+        self.delivered.append((self.simulator.now, session, receiver, packet))
+
+    def _charge(self, session, sender, size_bytes, counted):
+        self.charges.append((session, sender, size_bytes, counted))
+
+    def _on_frame(self, session, kind, sender, start_s, retry, outcomes):
+        self.frames.append((session, kind, sender, start_s, retry, list(outcomes)))
+
+    def run(self, until=10.0):
+        return self.simulator.run(until=until, max_events=200_000)
+
+
+class TestDataPath:
+    def test_single_copy_delivered_once(self):
+        network = make_line_network(3, 100.0)
+        host = Host(network)
+        packet = make_packet(network, 0, 2)
+        host.link.send_data(7, 0, [(1, packet)])
+        host.run()
+        assert len(host.delivered) == 1
+        _, session, receiver, delivered_packet = host.delivered[0]
+        assert (session, receiver) == (7, 1)
+        assert delivered_packet is packet
+        assert host.link.stats.session_count(7, "data_frames") == 1
+        assert host.link.stats.session_count(7, "acks") == 1
+        assert host.link.stats.session_count(7, "retransmissions") == 0
+
+    def test_fifo_queue_preserves_order(self):
+        network = make_line_network(3, 100.0)
+        host = Host(network)
+        first = make_packet(network, 0, 2, task_id=1)
+        second = make_packet(network, 0, 2, task_id=2)
+        host.link.send_data(1, 0, [(1, first)])
+        host.link.send_data(2, 0, [(1, second)])
+        host.run()
+        assert [(s, p.task_id) for _, s, _, p in host.delivered] == [(1, 1), (2, 2)]
+
+    def test_only_data_frames_counted_as_transmissions(self):
+        network = make_line_network(3, 100.0)
+        host = Host(network)
+        host.link.send_data(0, 0, [(1, make_packet(network, 0, 2))])
+        host.run()
+        counted = [c for c in host.charges if c[3]]
+        uncounted = [c for c in host.charges if not c[3]]
+        assert len(counted) == 1  # the DATA frame
+        assert len(uncounted) == 1  # its ACK
+        assert uncounted[0][2] == host.link.config.ack_bytes
+
+    def test_empty_copy_list_rejected(self):
+        network = make_line_network(3, 100.0)
+        host = Host(network)
+        try:
+            host.link.send_data(0, 0, [])
+        except ValueError:
+            return
+        raise AssertionError("empty DATA frame was accepted")
+
+
+class TestArq:
+    def test_lost_copy_is_retransmitted_and_recovered(self):
+        network = make_line_network(3, 100.0)
+        drops = {"left": 2}
+
+        def flaky(session, receiver):
+            if drops["left"] > 0:
+                drops["left"] -= 1
+                return True
+            return False
+
+        host = Host(network, loss_fn=flaky)
+        host.link.send_data(0, 0, [(1, make_packet(network, 0, 2))])
+        host.run()
+        assert len(host.delivered) == 1
+        assert host.link.stats.session_count(0, "retransmissions") == 2
+        assert host.link.stats.session_count(0, "arq_drops") == 0
+        retries = [frame[4] for frame in host.frames if frame[1] == "data"]
+        assert retries == [0, 1, 2]
+
+    def test_retry_cap_drops_the_copy(self):
+        network = make_line_network(3, 100.0)
+        config = LinkLayerConfig(beacons=False, max_retries=3)
+        host = Host(network, config=config, loss_fn=lambda s, r: True)
+        host.link.send_data(0, 0, [(1, make_packet(network, 0, 2))])
+        # A second frame queued behind the doomed one must still go out.
+        survivor = make_packet(network, 0, 2, task_id=9)
+        host.link.send_data(1, 0, [(1, survivor)])
+        host.run()
+        assert host.link.stats.session_count(0, "arq_drops") == 1
+        assert host.link.stats.session_count(0, "data_frames") == 4  # 1 + 3 retries
+        assert [p.task_id for _, s, _, p in host.delivered if s == 1] == []
+
+    def test_retry_cap_does_not_block_the_queue(self):
+        network = make_line_network(3, 100.0)
+        config = LinkLayerConfig(beacons=False, max_retries=2)
+
+        def first_session_only(session, receiver):
+            return session == 0
+
+        host = Host(network, config=config, loss_fn=first_session_only)
+        host.link.send_data(0, 0, [(1, make_packet(network, 0, 2))])
+        host.link.send_data(1, 0, [(1, make_packet(network, 0, 2, task_id=9))])
+        host.run()
+        assert [s for _, s, _, _ in host.delivered] == [1]
+
+    def test_lost_acks_cause_duplicate_suppression(self, monkeypatch):
+        # Simulate every ACK dying on the way back: the sender retries, the
+        # receiver re-acknowledges but must deliver only once.
+        network = make_line_network(3, 100.0)
+        config = LinkLayerConfig(beacons=False, max_retries=2)
+        host = Host(network, config=config)
+
+        def ack_black_hole(tx, copy, data_sender_id, session_id):
+            host.link.channel.finish(tx)
+
+        monkeypatch.setattr(host.link, "_finish_ack", ack_black_hole)
+        host.link.send_data(0, 0, [(1, make_packet(network, 0, 2))])
+        host.run()
+        assert len(host.delivered) == 1
+        assert host.link.stats.session_count(0, "duplicates_suppressed") == 2
+        assert host.link.stats.session_count(0, "arq_drops") == 1
+
+    def test_no_arq_single_shot(self):
+        network = make_line_network(3, 100.0)
+        config = LinkLayerConfig(beacons=False, arq=False)
+        host = Host(network, config=config, loss_fn=lambda s, r: True)
+        host.link.send_data(0, 0, [(1, make_packet(network, 0, 2))])
+        host.run()
+        assert host.delivered == []
+        assert host.link.stats.session_count(0, "data_frames") == 1
+        assert host.link.stats.session_count(0, "retransmissions") == 0
+        assert host.link.stats.session_count(0, "acks") == 0
+
+    def test_failed_receiver_never_delivers_or_acks(self):
+        network = make_line_network(3, 100.0)
+        config = LinkLayerConfig(beacons=False, max_retries=1)
+        host = Host(network, config=config, failed={1})
+        host.link.send_data(0, 0, [(1, make_packet(network, 0, 2))])
+        host.run()
+        assert host.delivered == []
+        assert host.link.stats.session_count(0, "acks") == 0
+        assert host.link.stats.session_count(0, "arq_drops") == 1
+
+
+class TestBeacons:
+    def test_beacons_fill_tables_and_charge_infrastructure(self):
+        network = make_line_network(3, 100.0)
+        config = LinkLayerConfig(beacon_period_s=0.5, warm_start=False)
+        host = Host(network, config=config)
+        host.link.start_beacons(horizon_s=2.0)
+        host.run(until=2.0)
+        assert host.link.stats.global_count("beacons_sent") >= 3
+        # Infrastructure traffic: session None, never counted.
+        beacon_charges = [c for c in host.charges if c[0] is None]
+        assert beacon_charges
+        assert all(not counted for _, _, _, counted in beacon_charges)
+        # Every node heard its neighbors at least once.
+        service = host.link.beacon_service
+        assert service is not None
+        assert service.view(1, 2.0).neighbor_ids == (0, 2)
+
+    def test_failed_nodes_do_not_beacon(self):
+        network = make_line_network(3, 100.0)
+        config = LinkLayerConfig(beacon_period_s=0.5, warm_start=False)
+        host = Host(network, config=config, failed={2})
+        host.link.start_beacons(horizon_s=2.0)
+        host.run(until=2.0)
+        service = host.link.beacon_service
+        assert service is not None
+        assert 2 not in service.view(1, 2.0).neighbor_ids
+
+    def test_beacons_disabled_views_are_oracle(self):
+        network = make_line_network(3, 100.0)
+        host = Host(network)  # beacons=False
+        assert host.link.beacon_service is None
+        assert host.link.view(1).neighbor_ids == (0, 2)
