@@ -9,12 +9,16 @@ import numpy as np
 import pytest
 
 from repro.engine import EngineConfig, run_task
+from repro.experiments.config import PaperConfig
+from repro.experiments.scale import SCALE_QUICK, _scale_tasks, scaled_config
+from repro.experiments.sweep import cached_network
 from repro.geometry import Point
 from repro.geometry.fermat import fermat_point
 from repro.linklayer import LinkLayer, LinkLayerConfig
 from repro.network import RadioConfig, build_network
 from repro.network.topology import uniform_random_topology
 from repro.perf.cache import caches_disabled, clear_caches
+from repro.perf.kernels import vectorized_disabled
 from repro.routing import GMPProtocol, LGSProtocol, PBMProtocol, SMTProtocol
 from repro.simkit.rng import RandomStreams
 from repro.simkit.simulator import Simulator
@@ -144,6 +148,91 @@ def test_bench_task_execution_gmp_contended(benchmark, micro_network):
         rounds=3,
         iterations=1,
     )
+
+
+# ----------------------------------------------------------------------
+# Large-scale (5k / 10k node) benches for the vectorized kernels
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def scale_network_5k():
+    """The first seeded deployment of the 5000-node constant-density sweep."""
+    return cached_network(scaled_config(PaperConfig(), 5000), 0)
+
+
+@pytest.fixture(scope="module")
+def scale_network_10k():
+    return cached_network(scaled_config(PaperConfig(), 10000), 0)
+
+
+def _scale_task_instance(network, node_count, group_size=100):
+    config = scaled_config(PaperConfig(), node_count)
+    task = _scale_tasks(config, SCALE_QUICK, node_count, 0, group_size)[0]
+    source = network.location_of(task.source_id)
+    dests = [(d, network.location_of(d)) for d in task.destination_ids]
+    return source, dests
+
+
+def test_bench_rrstr_5k_gmp_vectorized(benchmark, scale_network_5k):
+    """rrSTR tree for a 5k-node, k=100 GMP task — batched kernels on.
+
+    Paired with ``test_bench_rrstr_5k_gmp_scalar`` below: the median ratio
+    between the two is the vectorization speedup on the GMP hot path
+    (>= 3x on the reference machine; see docs/PERFORMANCE.md).
+    """
+    source, dests = _scale_task_instance(scale_network_5k, 5000)
+
+    def build():
+        clear_caches()
+        with caches_disabled():
+            return rrstr(source, dests, 150.0)
+
+    benchmark.pedantic(build, rounds=7, iterations=1, warmup_rounds=1)
+
+
+def test_bench_rrstr_5k_gmp_scalar(benchmark, scale_network_5k):
+    """The same 5k-node GMP tree with ``vectorized_disabled()`` — the A arm."""
+    source, dests = _scale_task_instance(scale_network_5k, 5000)
+
+    def build():
+        clear_caches()
+        with caches_disabled(), vectorized_disabled():
+            return rrstr(source, dests, 150.0)
+
+    benchmark.pedantic(build, rounds=7, iterations=1, warmup_rounds=1)
+
+
+def test_bench_spatial_queries_10k(benchmark, scale_network_10k):
+    """Radius queries over the 10k-node grid (batched per-cell disk tests)."""
+    side = scaled_config(PaperConfig(), 10000).field_width_m
+    rng = np.random.default_rng(93)
+    centers = [Point(*rng.uniform(0, side, 2)) for _ in range(200)]
+
+    def query_sample():
+        total = 0
+        for center in centers:
+            for radius in (150.0, 450.0):
+                total += len(scale_network_10k.nodes_within(center, radius))
+        return total
+
+    benchmark(query_sample)
+
+
+def test_bench_planarization_10k(benchmark, scale_network_10k):
+    """Gabriel witness tests over 10k-node neighbor tables (batched masks)."""
+    from repro.network.planar import gabriel_neighbors
+
+    def planarize_sample():
+        # Fresh computation each round: bypass the per-node cache.
+        for node in range(0, 2000, 20):
+            gabriel_neighbors(
+                node,
+                scale_network_10k.neighbors_of(node),
+                scale_network_10k.location_of,
+            )
+
+    benchmark(planarize_sample)
 
 
 def test_bench_beacon_round(benchmark, micro_network):

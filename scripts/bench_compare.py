@@ -9,8 +9,10 @@ Guards the perf work against silent regressions::
 
 Per benchmark the *median* runtimes are compared (medians are robust to the
 scheduler hiccups that wreck means on shared CI boxes).  A benchmark fails
-when ``fresh_median > max_ratio * baseline_median``; missing benchmarks fail
-too, so renames must update the baseline deliberately.  Default tolerance is
+when ``fresh_median > max_ratio * baseline_median``; benchmarks missing from
+either side are reported as added/removed and fail too, so renames must
+update the baseline deliberately (``--allow-new`` tolerates freshly added
+benchmarks that have no baseline entry yet).  Default tolerance is
 +/-30% (``--max-ratio 1.3``); CI's perf-smoke job runs with ``--max-ratio
 2.0`` because hosted runners vary in absolute speed.
 
@@ -42,17 +44,23 @@ def compare(
     baseline: Dict[str, float],
     fresh: Dict[str, float],
     max_ratio: float,
+    allow_new: bool = False,
 ) -> int:
-    """Print a comparison table; return the number of failures."""
+    """Print a comparison table; return the number of failures.
+
+    Benchmarks present in both files are compared by median ratio.  The
+    symmetric difference is reported explicitly: *removed* benchmarks (in the
+    baseline but not the fresh run) always fail, so renames and deletions
+    must update the baseline deliberately; *added* benchmarks (fresh but not
+    in the baseline) fail too unless ``allow_new`` is set — the escape hatch
+    for landing new benchmarks before their baseline entry exists.
+    """
     failures = 0
-    width = max(len(name) for name in baseline) if baseline else 10
+    names = set(baseline) | set(fresh)
+    width = max((len(name) for name in names), default=10)
     print(f"{'benchmark'.ljust(width)}  {'base':>10}  {'fresh':>10}  {'ratio':>6}")
-    for name in sorted(baseline):
+    for name in sorted(set(baseline) & set(fresh)):
         base_median = baseline[name]
-        if name not in fresh:
-            failures += 1
-            print(f"{name.ljust(width)}  {base_median:10.2e}  {'MISSING':>10}")
-            continue
         fresh_median = fresh[name]
         ratio = fresh_median / base_median if base_median > 0 else float("inf")
         verdict = "" if ratio <= max_ratio else "  REGRESSION"
@@ -62,8 +70,20 @@ def compare(
             f"{name.ljust(width)}  {base_median:10.2e}  {fresh_median:10.2e}"
             f"  {ratio:5.2f}x{verdict}"
         )
-    for name in sorted(set(fresh) - set(baseline)):
-        print(f"{name.ljust(width)}  {'(new)':>10}  {fresh[name]:10.2e}")
+    removed = sorted(set(baseline) - set(fresh))
+    added = sorted(set(fresh) - set(baseline))
+    if removed:
+        print(f"\nremoved from fresh run ({len(removed)}) — regenerate the baseline:")
+        for name in removed:
+            failures += 1
+            print(f"  {name.ljust(width)}  {baseline[name]:10.2e}  {'MISSING':>10}")
+    if added:
+        status = "allowed" if allow_new else "NOT in baseline"
+        print(f"\nadded since baseline ({len(added)}, {status}):")
+        for name in added:
+            if not allow_new:
+                failures += 1
+            print(f"  {name.ljust(width)}  {'(new)':>10}  {fresh[name]:10.2e}")
     return failures
 
 
@@ -83,10 +103,15 @@ def main(argv=None) -> int:
         default=1.3,
         help="maximum allowed fresh/baseline median ratio (default: 1.3)",
     )
+    parser.add_argument(
+        "--allow-new",
+        action="store_true",
+        help="report benchmarks missing from the baseline instead of failing",
+    )
     args = parser.parse_args(argv)
     baseline = load_medians(args.baseline)
     fresh = load_medians(args.fresh)
-    failures = compare(baseline, fresh, args.max_ratio)
+    failures = compare(baseline, fresh, args.max_ratio, allow_new=args.allow_new)
     if failures:
         print(
             f"\n{failures} benchmark(s) regressed past {args.max_ratio:.2f}x "

@@ -88,6 +88,12 @@ def _build_parser() -> argparse.ArgumentParser:
             name, parents=[experiment_options], help=f"regenerate {name}"
         )
 
+    subparsers.add_parser(
+        "scale",
+        parents=[experiment_options],
+        help="large-scale constant-density sweep (2k/5k/10k nodes, k up to 100)",
+    )
+
     lint = subparsers.add_parser(
         "lint",
         help="run the reprolint determinism & protocol-contract analyzer",
@@ -246,6 +252,39 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.json_path,
                 {name: fig.to_json_dict() for name, fig in contention_figures.items()},
                 contention_scale.name,
+                config.master_seed,
+                progress,
+            )
+        if args.perf:
+            print(GLOBAL_COUNTERS.render(), file=sys.stderr)
+        return 0
+
+    if args.command == "scale":
+        import dataclasses
+
+        from repro.experiments.scale import (
+            render_scale_table,
+            run_scale_sweep,
+            scale_sweep_scale_by_name,
+        )
+
+        sweep_scale = scale_sweep_scale_by_name(args.scale)
+        if args.nodes is not None:
+            sweep_scale = dataclasses.replace(
+                sweep_scale, node_counts=(args.nodes,)
+            )
+        progress(f"running large-scale sweep at preset {sweep_scale.name!r} ...")
+        with StageTimer("scale-sweep", clock=time.perf_counter):
+            sweep = run_scale_sweep(
+                config, sweep_scale, workers=args.workers, progress=progress
+            )
+        print(render_scale_table(sweep))
+        print(f"digest: {sweep.digest()}")
+        if args.json_path:
+            _write_json(
+                args.json_path,
+                {"scale-sweep": sweep.to_json_dict()},
+                sweep_scale.name,
                 config.master_seed,
                 progress,
             )

@@ -40,8 +40,19 @@ class Point(NamedTuple):
 
 
 def distance(a: Point, b: Point) -> float:
-    """Euclidean distance between ``a`` and ``b``."""
-    return math.hypot(a[0] - b[0], a[1] - b[1])
+    """Euclidean distance between ``a`` and ``b``.
+
+    Computed as ``sqrt(dx*dx + dy*dy)`` rather than ``math.hypot``: IEEE-754
+    multiply/add/sqrt are correctly rounded and therefore reproduced
+    bit-for-bit by the batched NumPy kernels (:mod:`repro.perf.kernels`),
+    whereas CPython's ``math.hypot`` and ``numpy.hypot`` use different
+    algorithms and disagree in the last ulp for ~0.6% of inputs.  Experiment
+    coordinates are bounded (~1e3 m), so the squaring cannot over- or
+    underflow.
+    """
+    dx = a[0] - b[0]
+    dy = a[1] - b[1]
+    return math.sqrt(dx * dx + dy * dy)
 
 
 def distance_sq(a: Point, b: Point) -> float:

@@ -10,9 +10,23 @@ graph is connected.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.geometry import Point, distance_sq, midpoint
+from repro.perf.kernels import (
+    MIN_BATCH,
+    gabriel_keep_mask,
+    rng_keep_mask,
+    vectorized_enabled,
+)
+
+
+def _neighbor_coords(
+    neighbor_ids: Sequence[int], location_of: Callable[[int], Point]
+) -> np.ndarray:
+    return np.array([location_of(v) for v in neighbor_ids], dtype=float)
 
 
 def gabriel_neighbors(
@@ -29,7 +43,10 @@ def gabriel_neighbors(
     exact, not an approximation.
     """
     u = location_of(node_id)
-    kept = []
+    if vectorized_enabled() and len(neighbor_ids) >= MIN_BATCH:
+        mask = gabriel_keep_mask(u, _neighbor_coords(neighbor_ids, location_of))
+        return tuple(v for v, keep in zip(neighbor_ids, mask) if keep)
+    kept: List[int] = []
     for v_id in neighbor_ids:
         v = location_of(v_id)
         center = midpoint(u, v)
@@ -59,7 +76,10 @@ def rng_neighbors(
     ``u``'s neighbor table, so the local computation is exact.
     """
     u = location_of(node_id)
-    kept = []
+    if vectorized_enabled() and len(neighbor_ids) >= MIN_BATCH:
+        mask = rng_keep_mask(u, _neighbor_coords(neighbor_ids, location_of))
+        return tuple(v for v, keep in zip(neighbor_ids, mask) if keep)
+    kept: List[int] = []
     for v_id in neighbor_ids:
         v = location_of(v_id)
         uv_sq = distance_sq(u, v)

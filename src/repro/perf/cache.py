@@ -20,12 +20,26 @@ for the cold-path microbenchmarks.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, Generic, Hashable, Iterator, Optional, Tuple, TypeVar
+from typing import (
+    Dict,
+    Generic,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro.geometry.fermat import fermat_point
 from repro.geometry.point import Point
 from repro.perf.counters import GLOBAL_COUNTERS
-from repro.steiner.reduction_ratio import reduction_ratio_point
+# NOTE: ``repro.steiner.reduction_ratio`` is imported lazily inside
+# ``cached_reduction_ratio_point``: the steiner package imports this module
+# (rrSTR uses the caches), and the network layer now imports ``repro.perf``
+# for the batched kernels, so an eager import here would close an import
+# cycle network -> perf -> steiner -> perf.
 
 _ENABLED = True
 
@@ -101,6 +115,8 @@ def cached_reduction_ratio_point(
     s: Point, u: Point, v: Point
 ) -> Tuple[float, Point]:
     """Memoized :func:`repro.steiner.reduction_ratio.reduction_ratio_point`."""
+    from repro.steiner.reduction_ratio import reduction_ratio_point
+
     if not _ENABLED:
         return reduction_ratio_point(s, u, v)
     key = (s[0], s[1], u[0], u[1], v[0], v[1])
@@ -115,6 +131,60 @@ def cached_reduction_ratio_point(
         _RR_CACHE.clear()
     _RR_CACHE[key] = result
     return result
+
+
+def cached_reduction_ratio_pairs(
+    s: Point, pairs: "Sequence[Tuple[Point, Point]]"
+) -> "List[Tuple[float, Tuple[float, float]]]":
+    """Memoized batch reduction ratios: ``[(rr, (tx, ty)), ...]`` per pair.
+
+    The batch analogue of :func:`cached_reduction_ratio_point`: known pairs
+    are served from the same ``_RR_CACHE`` the scalar path populates, and
+    only the misses go through one
+    :func:`repro.perf.kernels.reduction_ratio_batch` call (whose rows are
+    bit-identical to the scalar function).  With caching disabled the whole
+    batch is computed fresh — exactly like the scalar pass-through.
+    """
+    import numpy as np
+
+    from repro.perf.kernels import reduction_ratio_batch
+
+    if not _ENABLED:
+        us = np.array([[u[0], u[1]] for u, _ in pairs], dtype=float)
+        vs = np.array([[v[0], v[1]] for _, v in pairs], dtype=float)
+        rr_arr, t_arr = reduction_ratio_batch(s, us, vs)
+        return [
+            (rr, (tx, ty))
+            for rr, (tx, ty) in zip(rr_arr.tolist(), t_arr.tolist())
+        ]
+    counter = GLOBAL_COUNTERS.counter("reduction_ratio")
+    sx, sy = s[0], s[1]
+    results: List[Tuple[float, Tuple[float, float]]] = []
+    miss_indices: List[int] = []
+    for i, (u, v) in enumerate(pairs):
+        found = _RR_CACHE.get((sx, sy, u[0], u[1], v[0], v[1]))
+        if found is not None:
+            counter.hits += 1
+            rr, t = found
+            results.append((rr, (t[0], t[1])))
+        else:
+            counter.misses += 1
+            miss_indices.append(i)
+            results.append((0.0, (0.0, 0.0)))  # overwritten from the batch
+    if miss_indices:
+        us = np.array([[pairs[i][0][0], pairs[i][0][1]] for i in miss_indices])
+        vs = np.array([[pairs[i][1][0], pairs[i][1][1]] for i in miss_indices])
+        rr_arr, t_arr = reduction_ratio_batch(s, us, vs)
+        for pos, i in enumerate(miss_indices):
+            rr = float(rr_arr[pos])
+            tx = float(t_arr[pos, 0])
+            ty = float(t_arr[pos, 1])
+            u, v = pairs[i]
+            if len(_RR_CACHE) >= _POINT_CACHE_CAP:
+                _RR_CACHE.clear()
+            _RR_CACHE[(sx, sy, u[0], u[1], v[0], v[1])] = (rr, Point(tx, ty))
+            results[i] = (rr, (tx, ty))
+    return results
 
 
 V = TypeVar("V")

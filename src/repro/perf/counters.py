@@ -40,11 +40,36 @@ class CacheCounter:
         return f"CacheCounter({self.name}: {self.hits}h/{self.misses}m)"
 
 
+class BatchCounter:
+    """Batch count / total item tally of one named vector kernel."""
+
+    __slots__ = ("name", "batches", "items")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.batches = 0
+        self.items = 0
+
+    def record(self, size: int) -> None:
+        """Tally one kernel invocation that processed ``size`` elements."""
+        self.batches += 1
+        self.items += size
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average elements per kernel call (0.0 when never invoked)."""
+        return self.items / self.batches if self.batches else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BatchCounter({self.name}: {self.batches}b/{self.items}i)"
+
+
 class PerfCounters:
-    """A registry of cache counters plus named stage wall times."""
+    """A registry of cache counters, vector-batch counters and stage wall times."""
 
     def __init__(self) -> None:
         self._counters: Dict[str, CacheCounter] = {}
+        self._batches: Dict[str, BatchCounter] = {}
         self._stage_seconds: Dict[str, float] = {}
 
     def counter(self, name: str) -> CacheCounter:
@@ -53,6 +78,14 @@ class PerfCounters:
         if found is None:
             found = CacheCounter(name)
             self._counters[name] = found
+        return found
+
+    def batch(self, name: str) -> BatchCounter:
+        """Get-or-create the vector-kernel batch counter called ``name``."""
+        found = self._batches.get(name)
+        if found is None:
+            found = BatchCounter(name)
+            self._batches[name] = found
         return found
 
     def add_stage_seconds(self, stage: str, seconds: float) -> None:
@@ -72,6 +105,9 @@ class PerfCounters:
         for name, ctr in self._counters.items():
             out[f"{name}.hits"] = float(ctr.hits)
             out[f"{name}.misses"] = float(ctr.misses)
+        for name, batch in self._batches.items():
+            out[f"vector.{name}.batches"] = float(batch.batches)
+            out[f"vector.{name}.items"] = float(batch.items)
         for stage, seconds in self._stage_seconds.items():
             out[f"stage.{stage}"] = seconds
         return out
@@ -92,6 +128,14 @@ class PerfCounters:
             if key.startswith("stage."):
                 self.add_stage_seconds(key[len("stage."):], value)
                 continue
+            if key.startswith("vector."):
+                name, _, field = key[len("vector."):].rpartition(".")
+                batch = self.batch(name)
+                if field == "batches":
+                    batch.batches += int(value)
+                elif field == "items":
+                    batch.items += int(value)
+                continue
             name, _, field = key.rpartition(".")
             ctr = self.counter(name)
             if field == "hits":
@@ -101,15 +145,21 @@ class PerfCounters:
 
     def reset(self) -> None:
         self._counters.clear()
+        self._batches.clear()
         self._stage_seconds.clear()
 
     def render(self) -> str:
-        """One line per cache / stage, for operator-facing reports."""
+        """One line per cache / kernel / stage, for operator-facing reports."""
         lines = []
         for name, ctr in sorted(self._counters.items()):
             lines.append(
                 f"{name}: {ctr.hits} hits / {ctr.misses} misses "
                 f"({100.0 * ctr.hit_rate:.1f}% hit rate)"
+            )
+        for name, batch in sorted(self._batches.items()):
+            lines.append(
+                f"vector {name}: {batch.batches} batches / {batch.items} items "
+                f"(mean batch size {batch.mean_batch_size:.1f})"
             )
         for stage, seconds in sorted(self._stage_seconds.items()):
             lines.append(f"stage {stage}: {seconds:.3f}s")

@@ -7,6 +7,7 @@ from typing import Iterable, Optional, Sequence
 import numpy as np
 
 from repro.geometry import Point, distance
+from repro.perf import kernels
 from repro.routing.base import NodeView
 
 #: Strictness slack for progress comparisons: a neighbor must beat the
@@ -26,6 +27,8 @@ def closest_neighbor_to(view: NodeView, target: Point) -> Optional[int]:
     if not ids:
         return None
     locations = view.neighbor_location_array()
+    if kernels.vectorized_enabled():
+        return ids[kernels.nearest_index(locations, target)]
     deltas = locations - np.asarray([target[0], target[1]])
     return ids[int(np.argmin(np.einsum("ij,ij->i", deltas, deltas)))]
 
@@ -40,8 +43,11 @@ def greedy_next_hop(view: NodeView, target: Point) -> Optional[int]:
     if not ids:
         return None
     locations = view.neighbor_location_array()
-    deltas = locations - np.asarray([target[0], target[1]])
-    dists = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+    if kernels.vectorized_enabled():
+        dists = np.sqrt(kernels.distances_sq_to(locations, target))
+    else:
+        deltas = locations - np.asarray([target[0], target[1]])
+        dists = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
     own = distance(view.location, target)
     best_idx = int(np.argmin(dists))
     if dists[best_idx] < own - PROGRESS_EPSILON:
@@ -58,6 +64,8 @@ def group_distance_sums(view: NodeView, group_locations: Sequence[Point]) -> np.
     locations = view.neighbor_location_array()
     if locations.shape[0] == 0 or not group_locations:
         return np.zeros(locations.shape[0], dtype=float)
+    if kernels.vectorized_enabled():
+        return kernels.group_distance_sums(locations, group_locations)
     targets = np.asarray([[p[0], p[1]] for p in group_locations])
     diff = locations[:, None, :] - targets[None, :, :]
     return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff)).sum(axis=1)
@@ -83,6 +91,9 @@ def best_neighbor_for_group(
     if eligible.size == 0:
         return None
     locations = view.neighbor_location_array()[eligible]
-    deltas = locations - np.asarray([pivot_location[0], pivot_location[1]])
-    pivot_dists = np.einsum("ij,ij->i", deltas, deltas)
+    if kernels.vectorized_enabled():
+        pivot_dists = kernels.distances_sq_to(locations, pivot_location)
+    else:
+        deltas = locations - np.asarray([pivot_location[0], pivot_location[1]])
+        pivot_dists = np.einsum("ij,ij->i", deltas, deltas)
     return ids[int(eligible[int(np.argmin(pivot_dists))])]

@@ -29,10 +29,25 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.geometry import Point, distance, nearly_equal_points
-from repro.perf.cache import cached_fermat_point, cached_reduction_ratio_point
+from repro.perf.cache import (
+    cached_fermat_point,
+    cached_reduction_ratio_pairs,
+    cached_reduction_ratio_point,
+    caching_enabled,
+)
+from repro.perf.kernels import (
+    MIN_BATCH,
+    fermat_point_batch,
+    pair_indices,
+    pairwise_distances,
+    reduction_ratio_batch,
+    vectorized_enabled,
+)
 from repro.steiner.tree import SteinerTree
 
 #: Heap key guaranteed to sort after every true pair's key (-RR <= ~0) so
@@ -105,35 +120,116 @@ def rrstr(
     s = source_location
     tolerance = cfg.collocation_tolerance
     active = {}
-    heap: List[Tuple[float, int, int, int, Point]] = []
+    # Heap entries carry the Steiner point as two plain floats: the
+    # (key, sequence) prefix is unique, so comparisons never reach the
+    # coordinate slots, and the Point object is built lazily only for the
+    # few pops that survive the activity checks below.
+    heap: List[Tuple[float, int, int, int, float, float]] = []
     sequence = 0
 
-    def push_pair(u_vid: int, v_vid: int) -> None:
+    def push_pair(
+        u_vid: int,
+        v_vid: int,
+        precomputed: Optional[Tuple[float, Sequence[float]]] = None,
+    ) -> None:
         nonlocal sequence
         if u_vid == v_vid:
-            entry = (_SELF_PAIR_KEY, sequence, u_vid, u_vid, tree.vertex(u_vid).location)
+            u_loc = tree.vertex(u_vid).location
+            entry = (_SELF_PAIR_KEY, sequence, u_vid, u_vid, u_loc[0], u_loc[1])
         else:
-            rr, steiner = cached_reduction_ratio_point(
-                s, tree.vertex(u_vid).location, tree.vertex(v_vid).location
-            )
-            entry = (-rr, sequence, u_vid, v_vid, steiner)
+            if precomputed is None:
+                rr, steiner = cached_reduction_ratio_point(
+                    s, tree.vertex(u_vid).location, tree.vertex(v_vid).location
+                )
+                sx, sy = steiner[0], steiner[1]
+            else:
+                rr, (sx, sy) = precomputed
+            entry = (-rr, sequence, u_vid, v_vid, sx, sy)
         heapq.heappush(heap, entry)
         sequence += 1
+
+    def batch_pairs_against(
+        u_vid: int, partner_vids: Sequence[int]
+    ) -> Optional[List[Tuple[float, Sequence[float]]]]:
+        """Reduction ratios of ``(u, partner)`` for every partner, in order.
+
+        Returns ``None`` when the batch is too small to beat the kernel
+        dispatch overhead (the caller then takes the scalar path); results
+        are bit-identical either way.  Each element is ``(rr, (tx, ty))``
+        with plain Python floats.  With caching enabled the memoized batch
+        variant is used so repeated instances stay as cheap as the scalar
+        warm path.
+        """
+        if not vectorized_enabled() or len(partner_vids) < MIN_BATCH:
+            return None
+        u_loc = tree.vertex(u_vid).location
+        if caching_enabled():
+            return cached_reduction_ratio_pairs(
+                s, [(u_loc, tree.vertex(v).location) for v in partner_vids]
+            )
+        us = np.broadcast_to(
+            np.array([u_loc[0], u_loc[1]], dtype=float), (len(partner_vids), 2)
+        )
+        vs = np.array(
+            [tree.vertex(v).location for v in partner_vids], dtype=float
+        )
+        rr_arr, t_arr = reduction_ratio_batch(s, us, vs)
+        return list(zip(rr_arr.tolist(), t_arr.tolist()))
 
     terminal_vids = []
     for ref, location in destinations:
         vid = tree.add_terminal(location, ref)
         terminal_vids.append(vid)
         active[vid] = True
+
+    # Seed the merge heap: all k*(k-1)/2 destination pairs in one batched
+    # kernel evaluation (pair_indices matches the nested-loop order below).
+    # Entries carry a unique sequence tie-break, so their pop order is their
+    # *sorted* order no matter how the heap was built — one heapify over the
+    # full seed list replaces k*(k+1)/2 heappush calls without changing any
+    # pop.
+    k = len(terminal_vids)
+    seeded: Optional[List[Tuple[float, Sequence[float]]]] = None
+    if vectorized_enabled() and k * (k - 1) // 2 >= MIN_BATCH:
+        if caching_enabled():
+            locs_list = [tree.vertex(v).location for v in terminal_vids]
+            seeded = cached_reduction_ratio_pairs(
+                s,
+                [
+                    (locs_list[i], locs_list[j])
+                    for i in range(k)
+                    for j in range(i + 1, k)
+                ],
+            )
+        else:
+            locs = np.array(
+                [tree.vertex(v).location for v in terminal_vids], dtype=float
+            )
+            row, col = pair_indices(k)
+            rr_arr, t_arr = reduction_ratio_batch(s, locs[row], locs[col])
+            seeded = list(zip(rr_arr.tolist(), t_arr.tolist()))
+    pair_pos = 0
     for i, u_vid in enumerate(terminal_vids):
-        push_pair(u_vid, u_vid)
+        u_loc = tree.vertex(u_vid).location
+        heap.append((_SELF_PAIR_KEY, sequence, u_vid, u_vid, u_loc[0], u_loc[1]))
+        sequence += 1
         for v_vid in terminal_vids[i + 1 :]:
-            push_pair(u_vid, v_vid)
+            if seeded is None:
+                rr, steiner = cached_reduction_ratio_point(
+                    s, u_loc, tree.vertex(v_vid).location
+                )
+                sx, sy = steiner[0], steiner[1]
+            else:
+                rr, (sx, sy) = seeded[pair_pos]
+            heap.append((-rr, sequence, u_vid, v_vid, sx, sy))
+            sequence += 1
+            pair_pos += 1
+    heapq.heapify(heap)
 
     dead_pairs = set()
 
     while heap:
-        _, _, u_vid, v_vid, steiner = heapq.heappop(heap)
+        _, _, u_vid, v_vid, sx, sy = heapq.heappop(heap)
         if not active.get(u_vid, False):
             continue
         if u_vid == v_vid:
@@ -146,6 +242,7 @@ def rrstr(
         pair_key = (min(u_vid, v_vid), max(u_vid, v_vid))
         if pair_key in dead_pairs:
             continue
+        steiner = Point(sx, sy)
 
         u_loc = tree.vertex(u_vid).location
         v_loc = tree.vertex(v_vid).location
@@ -213,9 +310,14 @@ def rrstr(
         tree.attach(w_vid, v_vid)
         active[u_vid] = active[v_vid] = False
         active[w_vid] = True
-        for other_vid, is_active in list(active.items()):
-            if is_active and other_vid != w_vid:
-                push_pair(w_vid, other_vid)
+        partners = [
+            other_vid
+            for other_vid, is_active in list(active.items())
+            if is_active and other_vid != w_vid
+        ]
+        batched = batch_pairs_against(w_vid, partners)
+        for index, other_vid in enumerate(partners):
+            push_pair(w_vid, other_vid, None if batched is None else batched[index])
         push_pair(w_vid, w_vid)
 
     if cfg.refine:
@@ -257,6 +359,10 @@ def refine_tree(
     source and every destination.
     """
     dead: set = set()
+    # Star -> optimal-point memo shared across relocate passes: the target
+    # is a pure function of the star's locations, so unchanged stars (the
+    # common case after the first pass) skip the Weiszfeld iteration.
+    relocate_memo: dict = {}
     improved = True
     passes = 0
     while improved and passes < max_passes:
@@ -281,31 +387,89 @@ def refine_tree(
                 tree.attach(parent, child)
                 dead.add(vid)
                 improved = True
-        for vertex in list(tree.vertices()):
+        # Locations are constant throughout the re-parent sub-pass (only the
+        # relocate sub-pass moves vertices), so all candidate distances for
+        # one vertex can be batched; vid == row index in ``coords``.  Root
+        # path lengths are memoized between structural mutations — identical
+        # floats, computed once instead of per (vertex, candidate) probe.
+        scan_vertices = list(tree.vertices())
+        distance_matrix: Optional[np.ndarray] = None
+        if vectorized_enabled() and len(scan_vertices) >= MIN_BATCH:
+            coords = np.array([v.location for v in scan_vertices], dtype=float)
+            distance_matrix = pairwise_distances(coords)
+        path_cache: dict = {}
+
+        def root_path(path_vid: int) -> float:
+            found = path_cache.get(path_vid)
+            if found is None:
+                if distance_matrix is not None:
+                    # Same bottom-up accumulation as _root_path_length, with
+                    # each edge read from the (bit-identical) matrix.
+                    length = 0.0
+                    current = path_vid
+                    while current != 0:
+                        up = tree.parent_of(current)
+                        if up is None:
+                            break
+                        length += float(distance_matrix[up, current])
+                        current = up
+                    found = length
+                else:
+                    found = _root_path_length(tree, path_vid)
+                path_cache[path_vid] = found
+            return found
+
+        for vertex in scan_vertices:
             vid = vertex.vid
             if vid == 0 or vid in dead:
                 continue
             parent = tree.parent_of(vid)
             if parent is None:
                 continue
-            subtree = set(tree.subtree_vids(vid))
-            root_location = tree.root.location
-            radial = distance(root_location, vertex.location)
-            current_path = _root_path_length(tree, parent) + distance(
-                tree.vertex(parent).location, vertex.location
-            )
-            best_vid = parent
-            best_len = distance(tree.vertex(parent).location, vertex.location)
-            for candidate in tree.vertices():
-                if candidate.vid in dead or candidate.vid in subtree:
+            if distance_matrix is not None:
+                lengths = distance_matrix[:, vid]
+                parent_len = float(lengths[parent])
+                # Only candidates strictly nearer than the current parent can
+                # ever pass the ``length >= best_len - 1e-9`` filter below
+                # (``best_len`` starts at ``parent_len`` and only decreases),
+                # so the Python scan shrinks to the near rows — flatnonzero
+                # preserves the original candidate order.
+                near = np.flatnonzero(lengths < parent_len - 1e-9)
+                if near.size == 0:
                     continue
-                length = distance(candidate.location, vertex.location)
+                candidates = [
+                    (scan_vertices[i], length)
+                    for i, length in zip(near.tolist(), lengths[near].tolist())
+                ]
+            else:
+                parent_len = distance(tree.vertex(parent).location, vertex.location)
+                candidates = [
+                    (c, distance(c.location, vertex.location))
+                    for c in tree.vertices()
+                ]
+            # Subtree membership, the radial distance, and the current path
+            # are pure filters — computed lazily, on the first candidate that
+            # survives the (much cheaper) length filter.
+            subtree: Optional[set] = None
+            radial = -1.0
+            current_path = -1.0
+            best_vid = parent
+            best_len = parent_len
+            for candidate, length in candidates:
                 if length >= best_len - 1e-9:
+                    continue
+                if candidate.vid in dead:
+                    continue
+                if subtree is None:
+                    subtree = set(tree.subtree_vids(vid))
+                    radial = distance(tree.root.location, vertex.location)
+                    current_path = root_path(parent) + parent_len
+                if candidate.vid in subtree:
                     continue
                 # Shallow-light guard: a shorter edge is accepted only if
                 # the vertex's root path stays within ``max_stretch`` of its
                 # straight-line distance (or improves on the current path).
-                candidate_path = _root_path_length(tree, candidate.vid) + length
+                candidate_path = root_path(candidate.vid) + length
                 if (
                     candidate_path > max_stretch * radial + 1e-9
                     and candidate_path >= current_path - 1e-9
@@ -316,10 +480,11 @@ def refine_tree(
             if best_vid != parent:
                 tree.detach(vid)
                 tree.attach(best_vid, vid)
+                path_cache.clear()
                 improved = True
         if _insert_virtuals(tree, dead, radio_range):
             improved = True
-        if _relocate_virtuals(tree, dead):
+        if _relocate_virtuals(tree, dead, relocate_memo):
             improved = True
     return _rebuild_without(tree, dead)
 
@@ -348,25 +513,29 @@ def _insert_virtuals(
             if len(kids) < 2:
                 break
             p_loc = tree.vertex(pid).location
+            # Radio-aware benefit test (paper Section 3.3): the new
+            # virtual costs roughly one extra hop, so it must save
+            # more than a radio range of combined branch length.
+            threshold = radio_range if radio_range is not None else 1e-9
             best = None
-            for i, c1 in enumerate(kids):
-                for c2 in kids[i + 1 :]:
-                    l1 = tree.vertex(c1).location
-                    l2 = tree.vertex(c2).location
-                    w_loc = cached_fermat_point(p_loc, l1, l2)
-                    saving = (
-                        distance(p_loc, l1)
-                        + distance(p_loc, l2)
-                        - distance(p_loc, w_loc)
-                        - distance(w_loc, l1)
-                        - distance(w_loc, l2)
-                    )
-                    # Radio-aware benefit test (paper Section 3.3): the new
-                    # virtual costs roughly one extra hop, so it must save
-                    # more than a radio range of combined branch length.
-                    threshold = radio_range if radio_range is not None else 1e-9
-                    if saving > threshold and (best is None or saving > best[0]):
-                        best = (saving, c1, c2, w_loc)
+            pair_count = len(kids) * (len(kids) - 1) // 2
+            if vectorized_enabled() and pair_count >= MIN_BATCH:
+                best = _best_insertion_batch(tree, kids, p_loc, threshold)
+            else:
+                for i, c1 in enumerate(kids):
+                    for c2 in kids[i + 1 :]:
+                        l1 = tree.vertex(c1).location
+                        l2 = tree.vertex(c2).location
+                        w_loc = cached_fermat_point(p_loc, l1, l2)
+                        saving = (
+                            distance(p_loc, l1)
+                            + distance(p_loc, l2)
+                            - distance(p_loc, w_loc)
+                            - distance(w_loc, l1)
+                            - distance(w_loc, l2)
+                        )
+                        if saving > threshold and (best is None or saving > best[0]):
+                            best = (saving, c1, c2, w_loc)
             if best is None:
                 break
             _, c1, c2, w_loc = best
@@ -378,6 +547,54 @@ def _insert_virtuals(
             tree.attach(w_vid, c2)
             inserted = True
     return inserted
+
+
+def _best_insertion_batch(
+    tree: SteinerTree,
+    kids: Sequence[int],
+    p_loc: Point,
+    threshold: float,
+) -> Optional[Tuple[float, int, int, Point]]:
+    """Batched variant of the sibling-pair scan in :func:`_insert_virtuals`.
+
+    Evaluates every ``(c1, c2)`` sibling pair's Fermat point and star saving
+    in one kernel call; ties select the first pair in nested-loop order, so
+    the winner is bit-identical to the scalar scan.
+    """
+    locs = np.array([tree.vertex(c).location for c in kids], dtype=float)
+    row, col = pair_indices(len(kids))
+    n = len(row)
+    triples = np.empty((n, 6), dtype=float)
+    triples[:, 0] = p_loc[0]
+    triples[:, 1] = p_loc[1]
+    triples[:, 2:4] = locs[row]
+    triples[:, 4:6] = locs[col]
+    w = fermat_point_batch(triples)
+    d_p1 = _pair_dist(triples[:, 0:2], triples[:, 2:4])
+    d_p2 = _pair_dist(triples[:, 0:2], triples[:, 4:6])
+    d_pw = _pair_dist(triples[:, 0:2], w)
+    d_w1 = _pair_dist(w, triples[:, 2:4])
+    d_w2 = _pair_dist(w, triples[:, 4:6])
+    saving = (((d_p1 + d_p2) - d_pw) - d_w1) - d_w2
+    valid = saving > threshold
+    if not bool(valid.any()):
+        return None
+    idx = np.flatnonzero(valid)
+    pos = int(idx[np.argmax(saving[idx])])
+    return (
+        float(saving[pos]),
+        kids[int(row[pos])],
+        kids[int(col[pos])],
+        Point(float(w[pos, 0]), float(w[pos, 1])),
+    )
+
+
+def _pair_dist(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Rowwise Euclidean distance, in the same ``sqrt(dx*dx+dy*dy)`` form as
+    :func:`repro.geometry.point.distance` (bit-identical per IEEE-754)."""
+    dx = a[:, 0] - b[:, 0]
+    dy = a[:, 1] - b[:, 1]
+    return np.sqrt(dx * dx + dy * dy)
 
 
 def _root_path_length(tree: SteinerTree, vid: int) -> float:
@@ -395,7 +612,9 @@ def _root_path_length(tree: SteinerTree, vid: int) -> float:
     return length
 
 
-def _relocate_virtuals(tree: SteinerTree, dead: set) -> bool:
+def _relocate_virtuals(
+    tree: SteinerTree, dead: set, memo: Optional[dict] = None
+) -> bool:
     """Move each virtual vertex to the optimal point for its tree neighbors.
 
     A virtual vertex's only purpose is to minimize the length of its local
@@ -420,10 +639,15 @@ def _relocate_virtuals(tree: SteinerTree, dead: set) -> bool:
         ]
         if len(star) < 3:
             continue  # Degenerate stars are handled by the splice pass.
-        if len(star) == 3:
-            target = cached_fermat_point(star[0], star[1], star[2])
-        else:
-            target = weiszfeld_point(star)
+        star_key = tuple(star)
+        target = memo.get(star_key) if memo is not None else None
+        if target is None:
+            if len(star) == 3:
+                target = cached_fermat_point(star[0], star[1], star[2])
+            else:
+                target = weiszfeld_point(star)
+            if memo is not None:
+                memo[star_key] = target
         old_cost = sum(distance(vertex.location, p) for p in star)
         new_cost = sum(distance(target, p) for p in star)
         if new_cost < old_cost - 1e-9:
