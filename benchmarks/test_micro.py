@@ -5,6 +5,8 @@ O(n^2 log n + n*m) per forwarding step, which is what makes it deployable on
 sensor nodes where PBM's exponential subset enumeration is not.
 """
 
+import pathlib
+
 import numpy as np
 import pytest
 
@@ -233,6 +235,29 @@ def test_bench_planarization_10k(benchmark, scale_network_10k):
             )
 
     benchmark(planarize_sample)
+
+
+def test_bench_reprolint_whole_repo(benchmark):
+    """The full static-analysis pass: parse, import/call graphs, 16 rules.
+
+    This is what the CI ratchet gate pays on every run; the repo contract
+    (asserted in ``tests/analysis/test_project.py``) is that it stays under
+    a few seconds for the whole tree.
+    """
+    from repro.analysis import analyze_paths, default_registry
+
+    repo_root = pathlib.Path(__file__).resolve().parents[1]
+    paths = [
+        str(repo_root / tree)
+        for tree in ("src", "tests", "scripts", "benchmarks")
+    ]
+
+    def lint_everything():
+        report = analyze_paths(paths, registry=default_registry())
+        assert report.files_checked > 100
+        return report.files_checked
+
+    benchmark.pedantic(lint_everything, rounds=3, iterations=1)
 
 
 def test_bench_beacon_round(benchmark, micro_network):

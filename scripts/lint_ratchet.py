@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Ratchet gate for reprolint: no new findings, ever; fewer is locked in.
+
+CI does not simply run ``repro lint`` — it diffs the current findings
+against the committed baseline (``lint_baseline.json``)::
+
+    PYTHONPATH=src python scripts/lint_ratchet.py
+
+* a finding whose fingerprint is not in the baseline **fails** the gate —
+  new debt needs a fix or a justified ``# reprolint: disable=`` comment;
+* a baseline entry that no longer fires **fails** too, with instructions
+  to re-run with ``--update`` — the ratchet only turns one way, and it
+  turns deliberately;
+* matching states pass.
+
+Fingerprints are ``sha256(path|rule|message)`` prefixes (no line numbers),
+so moving code around does not churn the baseline; repeated identical
+findings in one file are tracked by count.  The shipped baseline is empty:
+the tree stands on fixes, not on inherited debt.
+
+Regenerate after intentional changes with::
+
+    PYTHONPATH=src python scripts/lint_ratchet.py --update
+
+``--sarif PATH`` additionally writes the full report as SARIF 2.1.0 for
+GitHub code scanning.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional
+
+try:
+    from repro.analysis import analyze_paths, default_registry, report_to_sarif
+except ImportError:  # running from a checkout without the package installed
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    )
+    from repro.analysis import analyze_paths, default_registry, report_to_sarif
+
+DEFAULT_PATHS = ("src", "tests", "scripts", "benchmarks")
+DEFAULT_BASELINE = "lint_baseline.json"
+
+
+def collect_findings(paths: List[str]) -> Dict[str, Dict[str, object]]:
+    """``{fingerprint: {count, rule_id, path, message}}`` for the tree."""
+    report = analyze_paths(paths, registry=default_registry())
+    collected: Dict[str, Dict[str, object]] = {}
+    for finding in report.sorted_findings():
+        entry = collected.setdefault(
+            finding.fingerprint(),
+            {
+                "count": 0,
+                "rule_id": finding.rule_id,
+                "path": finding.path,
+                "message": finding.message,
+            },
+        )
+        entry["count"] = int(entry["count"]) + 1
+    return collected
+
+
+def load_baseline(path: str) -> Optional[Dict[str, Dict[str, object]]]:
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return dict(payload.get("findings", {}))
+
+
+def write_baseline(path: str, findings: Dict[str, Dict[str, object]]) -> None:
+    payload = {
+        "comment": (
+            "reprolint ratchet baseline — regenerate with "
+            "scripts/lint_ratchet.py --update"
+        ),
+        "findings": {key: findings[key] for key in sorted(findings)},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def diff(
+    baseline: Dict[str, Dict[str, object]],
+    current: Dict[str, Dict[str, object]],
+) -> int:
+    """Print the ratchet diff; return the number of violations."""
+    violations = 0
+    for fingerprint in sorted(set(current) - set(baseline)):
+        entry = current[fingerprint]
+        violations += 1
+        print(
+            f"NEW {entry['rule_id']} {entry['path']}: {entry['message']} "
+            f"[{fingerprint}]"
+        )
+    for fingerprint in sorted(set(current) & set(baseline)):
+        grown = int(current[fingerprint]["count"]) - int(
+            baseline[fingerprint]["count"]
+        )
+        if grown > 0:
+            entry = current[fingerprint]
+            violations += 1
+            print(
+                f"GREW (+{grown}) {entry['rule_id']} {entry['path']}: "
+                f"{entry['message']} [{fingerprint}]"
+            )
+    improved = sorted(set(baseline) - set(current)) + sorted(
+        fp
+        for fp in set(current) & set(baseline)
+        if int(current[fp]["count"]) < int(baseline[fp]["count"])
+    )
+    for fingerprint in improved:
+        entry = baseline[fingerprint]
+        violations += 1
+        print(
+            f"FIXED (ratchet down: re-run with --update) {entry['rule_id']} "
+            f"{entry['path']}: {entry['message']} [{fingerprint}]"
+        )
+    return violations
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff reprolint findings against the committed baseline."
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"trees to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline JSON (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--sarif",
+        default=None,
+        help="also write the current report as SARIF 2.1.0 to this path",
+    )
+    args = parser.parse_args(argv)
+
+    existing = [path for path in args.paths if os.path.exists(path)]
+    current = collect_findings(existing)
+
+    if args.sarif:
+        report = analyze_paths(existing, registry=default_registry())
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            json.dump(report_to_sarif(report), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    if args.update:
+        write_baseline(args.baseline, current)
+        print(f"baseline updated: {len(current)} fingerprint(s)")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    if baseline is None:
+        print(
+            f"error: baseline {args.baseline!r} not found "
+            "(run with --update to create it)",
+            file=sys.stderr,
+        )
+        return 2
+
+    violations = diff(baseline, current)
+    if violations:
+        print(
+            f"\nratchet gate failed: {violations} difference(s) from baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"ratchet gate passed: {len(current)} finding(s), "
+        f"all matching the baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,49 +3,78 @@
 The reproduction's credibility rests on bit-reproducible runs; this package
 is the static gate that enforces the discipline making that possible.  It
 is a small custom analyzer on :mod:`ast` — a rule registry, a per-module
-context, a findings model and ten rules (R001–R010) targeting this
-codebase's concrete failure modes: unseeded randomness, wall-clock reads,
-hash-order-dependent iteration, exact float comparison on distances, and
-drift from the :class:`~repro.routing.base.RoutingProtocol` contract.
+context, a findings model, ten per-module rules (R001–R010) and six
+whole-program rules (R011–R016) targeting this codebase's concrete failure
+modes: unseeded randomness, wall-clock reads, hash-order-dependent
+iteration, exact float comparison on distances, drift from the
+:class:`~repro.routing.base.RoutingProtocol` contract, nondeterminism
+flowing through call chains into digest-relevant code, mutations that skip
+cache invalidation, vectorized kernels without scalar parity coverage,
+undeclared digest fields, import cycles and dead private code.
 
-Entry points: ``python -m repro.cli lint src/`` on the command line, the
+The whole-program substrate lives in :mod:`repro.analysis.project` (module
+table + import graph) and :mod:`repro.analysis.callgraph` (symbol table +
+approximate call graph); :mod:`repro.analysis.output` serializes reports as
+JSON (for the ratchet gate in ``scripts/lint_ratchet.py``) and SARIF (for
+CI code scanning).
+
+Entry points: ``python -m repro.cli lint`` on the command line, the
 self-test in ``tests/analysis/test_reprolint_self.py``, and the CI
 workflow.  See ``docs/ANALYSIS.md`` for the rule guide and the suppression
 syntax (``# reprolint: disable=R003``).
 """
 
+from repro.analysis.callgraph import CallGraph
 from repro.analysis.engine import (
+    PARSE_ERROR_RULE,
+    STALE_SUPPRESSION_RULE,
     LintConfig,
     LintReport,
     ModuleContext,
+    ProjectRule,
     Rule,
     RuleRegistry,
     analyze_paths,
+    analyze_project,
     analyze_source,
     default_registry,
     iter_python_files,
     path_matches,
 )
 from repro.analysis.findings import Finding, Severity
+from repro.analysis.output import report_to_json, report_to_sarif
+from repro.analysis.project import Project, ProjectModule, module_name_for
 from repro.analysis.suppressions import (
+    Directive,
     SuppressionIndex,
     build_suppression_index,
     scan_comments,
 )
 
 __all__ = [
+    "PARSE_ERROR_RULE",
+    "STALE_SUPPRESSION_RULE",
+    "CallGraph",
     "LintConfig",
     "LintReport",
     "ModuleContext",
+    "Project",
+    "ProjectModule",
+    "ProjectRule",
     "Rule",
     "RuleRegistry",
     "analyze_paths",
+    "analyze_project",
     "analyze_source",
     "default_registry",
     "iter_python_files",
+    "module_name_for",
     "path_matches",
+    "report_to_json",
+    "report_to_sarif",
     "Finding",
     "Severity",
+    "Directive",
     "SuppressionIndex",
     "build_suppression_index",
     "scan_comments",

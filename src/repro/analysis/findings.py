@@ -10,8 +10,9 @@ are stable regardless of rule execution order.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Tuple, Union
 
 
 class Severity(enum.Enum):
@@ -49,3 +50,25 @@ class Finding:
         if self.fix_hint:
             text += f" (fix: {self.fix_hint})"
         return text
+
+    def fingerprint(self) -> str:
+        """Stable identity for the ratchet baseline.
+
+        Deliberately line-free: moving code around must not churn the
+        baseline, only genuinely new findings (path + rule + message) may.
+        """
+        payload = f"{self.path}|{self.rule_id}|{self.message}".encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, Union[str, int]]:
+        """JSON-ready mapping, one key per field plus the fingerprint."""
+        return {
+            "rule_id": self.rule_id,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+            "fingerprint": self.fingerprint(),
+        }

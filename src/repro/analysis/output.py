@@ -1,0 +1,107 @@
+"""Machine-readable lint output: JSON and SARIF 2.1.0.
+
+The JSON form is reprolint's own schema — the ratchet gate consumes it.
+The SARIF form targets GitHub code scanning: one run, one ``reprolint``
+driver, rule metadata from the registry, and a stable
+``partialFingerprints`` entry per result so annotations survive rebases.
+Both serializations are deterministic (sorted findings, sorted keys left
+to the caller's ``json.dumps``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.engine import (
+    PARSE_ERROR_RULE,
+    STALE_SUPPRESSION_RULE,
+    LintReport,
+    RuleRegistry,
+    default_registry,
+)
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Engine-level pseudo-rules that never appear in the registry.
+_ENGINE_RULES = {
+    PARSE_ERROR_RULE: "file does not parse",
+    STALE_SUPPRESSION_RULE: "suppression directive silences no finding",
+}
+
+
+def report_to_json(report: LintReport) -> Dict[str, Any]:
+    """The ratchet-gate schema: findings plus run-level counters."""
+    return {
+        "findings": [f.to_dict() for f in report.sorted_findings()],
+        "suppressed": [
+            f.to_dict() for f in sorted(report.suppressed, key=lambda f: f.sort_key())
+        ],
+        "files_checked": report.files_checked,
+        "directive_count": report.directive_count,
+        "clean": report.clean,
+    }
+
+
+def _sarif_rules(registry: RuleRegistry, used_ids: List[str]) -> List[Dict[str, Any]]:
+    known = {rule_id: summary for rule_id, _sev, summary in registry.summaries()}
+    known.update(_ENGINE_RULES)
+    rules: List[Dict[str, Any]] = []
+    for rule_id in sorted(set(used_ids) | set(known)):
+        rules.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": known.get(rule_id, rule_id)},
+            }
+        )
+    return rules
+
+
+def report_to_sarif(
+    report: LintReport, registry: Optional[RuleRegistry] = None
+) -> Dict[str, Any]:
+    """A single-run SARIF 2.1.0 log of the report's findings."""
+    registry = registry or default_registry()
+    findings = report.sorted_findings()
+    results: List[Dict[str, Any]] = []
+    for finding in findings:
+        results.append(
+            {
+                "ruleId": finding.rule_id,
+                "level": finding.severity.value,
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": finding.path.replace("\\", "/")},
+                            "region": {
+                                "startLine": max(finding.line, 1),
+                                "startColumn": finding.col + 1,
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {"reprolint/v1": finding.fingerprint()},
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": "docs/ANALYSIS.md",
+                        "rules": _sarif_rules(
+                            registry, [f.rule_id for f in findings]
+                        ),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -65,12 +65,25 @@ def scan_comments(source: str) -> List[Comment]:
 
 
 @dataclass(frozen=True)
+class Directive:
+    """One parsed ``# reprolint: disable=...`` comment, as placed."""
+
+    line: int
+    col: int
+    rules: Tuple[str, ...]
+    standalone: bool
+
+
+@dataclass(frozen=True)
 class SuppressionIndex:
     """Which rules are disabled where, for one file."""
 
     file_level: FrozenSet[str] = frozenset()
     by_line: Dict[int, FrozenSet[str]] = field(default_factory=dict)
     directive_count: int = 0
+    #: Every directive, in source order — the raw material for stale-
+    #: suppression detection (a directive whose rules never fire).
+    directives: Tuple[Directive, ...] = ()
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
         for scope in (self.file_level, self.by_line.get(line, frozenset())):
@@ -93,12 +106,19 @@ def build_suppression_index(source: str) -> SuppressionIndex:
     """Parse every suppression directive in ``source``."""
     file_level: List[str] = []
     by_line: Dict[int, FrozenSet[str]] = {}
-    count = 0
+    directives: List[Directive] = []
     for comment in scan_comments(source):
         rules: Tuple[str, ...] = tuple(_parse_directive(comment.text))
         if not rules:
             continue
-        count += 1
+        directives.append(
+            Directive(
+                line=comment.line,
+                col=comment.col,
+                rules=rules,
+                standalone=comment.standalone,
+            )
+        )
         if comment.standalone:
             file_level.extend(rules)
         else:
@@ -106,5 +126,6 @@ def build_suppression_index(source: str) -> SuppressionIndex:
     return SuppressionIndex(
         file_level=frozenset(file_level),
         by_line=by_line,
-        directive_count=count,
+        directive_count=len(directives),
+        directives=tuple(directives),
     )

@@ -101,8 +101,11 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "paths",
         nargs="*",
-        default=["src"],
-        help="files or directories to analyze (default: src)",
+        default=["src", "tests", "scripts", "benchmarks"],
+        help=(
+            "files or directories to analyze "
+            "(default: src tests scripts benchmarks)"
+        ),
     )
     lint.add_argument(
         "--list-rules", action="store_true", help="list the rule set and exit"
@@ -111,6 +114,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--show-suppressed",
         action="store_true",
         help="also print findings silenced by suppression comments",
+    )
+    lint.add_argument(
+        "--format",
+        dest="lint_format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--output",
+        dest="lint_output",
+        default=None,
+        help="write the report to a file instead of stdout",
     )
     return parser
 
@@ -141,7 +157,12 @@ def _write_json(
 
 
 def _run_lint(args: argparse.Namespace) -> int:
-    from repro.analysis import analyze_paths, default_registry
+    from repro.analysis import (
+        analyze_paths,
+        default_registry,
+        report_to_json,
+        report_to_sarif,
+    )
 
     registry = default_registry()
     if args.list_rules:
@@ -154,10 +175,26 @@ def _run_lint(args: argparse.Namespace) -> int:
             print(f"error: no such file or directory: {path}", file=sys.stderr)
         return 2
     report = analyze_paths(args.paths, registry=registry)
-    if args.show_suppressed and report.suppressed:
-        for finding in sorted(report.suppressed, key=lambda f: f.sort_key()):
-            print(f"[suppressed] {finding.render()}")
-    print(report.render())
+    if args.lint_format == "json":
+        text = json.dumps(report_to_json(report), indent=2, sort_keys=True)
+    elif args.lint_format == "sarif":
+        text = json.dumps(
+            report_to_sarif(report, registry=registry), indent=2, sort_keys=True
+        )
+    else:
+        lines = []
+        if args.show_suppressed and report.suppressed:
+            lines.extend(
+                f"[suppressed] {finding.render()}"
+                for finding in sorted(report.suppressed, key=lambda f: f.sort_key())
+            )
+        lines.append(report.render())
+        text = "\n".join(lines)
+    if args.lint_output:
+        with open(args.lint_output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
     return 0 if report.clean else 1
 
 

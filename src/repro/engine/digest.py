@@ -17,10 +17,59 @@ simulation-identical.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, List
+from typing import Dict, Iterable, List, Tuple
 
 from repro.engine.stats import TaskResult
 from repro.engine.trace import TaskTrace
+
+#: Record field → digest policy, checked by reprolint R014: every field of
+#: every record dataclass in the trace/stats layer must appear in exactly one
+#: of these two tables, so adding a field forces an explicit decision about
+#: whether it changes the digest.  The serialization functions below remain
+#: the single source of truth for *how* included fields are hashed; these
+#: tables only declare *which* fields participate.
+DIGEST_INCLUDED_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "TaskResult": (
+        "task_id",
+        "protocol",
+        "source_id",
+        "destination_ids",
+        "delivered_hops",
+        "transmissions",
+        "energy_joules",
+        "duration_s",
+        "dropped_ttl",
+        "hotspot_energy_joules",
+        "trace",
+    ),
+    "TaskTrace": ("frames",),
+    "FrameRecord": ("time_s", "sender_id", "copies", "transmissions_charged"),
+    "CopyRecord": (
+        "receiver_id",
+        "destination_ids",
+        "hop_count",
+        "in_perimeter_mode",
+        "lost",
+    ),
+}
+
+DIGEST_EXCLUDED_FIELDS: Dict[str, Tuple[str, ...]] = {
+    # Instrumentation: cache hit rates differ between simulation-identical runs.
+    "TaskResult": ("perf",),
+    # Contended-link metadata; the default engine emits constant values.
+    "FrameRecord": ("kind", "retry"),
+    # Aggregates are derived from TaskResults and never digested directly.
+    "ResultSummary": (
+        "task_count",
+        "failure_count",
+        "mean_total_hops",
+        "mean_per_destination_hops",
+        "mean_energy_joules",
+        "mean_duration_s",
+        "delivery_ratio",
+        "extras",
+    ),
+}
 
 
 def _trace_lines(trace: TaskTrace) -> List[str]:

@@ -46,7 +46,7 @@ from __future__ import annotations
 
 import math
 from contextlib import contextmanager
-from typing import Iterator, Sequence, Tuple
+from typing import Dict, Iterator, Sequence, Tuple
 
 import numpy as np
 
@@ -55,6 +55,25 @@ from repro.geometry.point import Point
 from repro.perf.counters import GLOBAL_COUNTERS
 
 _ENABLED = True
+
+#: Kernel name → dotted path of the scalar routine it must match bit-for-bit.
+#: reprolint R013 checks this table: every public kernel below needs an entry
+#: whose target resolves in the project, and a parity test in ``tests/perf/``
+#: must reference the kernel by name.  The prose table in the module
+#: docstring is for humans; this one is for the analyzer.
+SCALAR_REFERENCES: Dict[str, str] = {
+    "fermat_point_batch": "repro.geometry.fermat.fermat_point",
+    "reduction_ratio_batch": "repro.steiner.reduction_ratio.reduction_ratio_point",
+    "pair_indices": "repro.steiner.rrstr.rrstr",
+    "disk_mask": "repro.network.graph.SpatialGrid.indices_within",
+    "gabriel_keep_mask": "repro.network.planar.gabriel_neighbors",
+    "rng_keep_mask": "repro.network.planar.rng_neighbors",
+    "distances_to": "repro.geometry.point.distance",
+    "pairwise_distances": "repro.geometry.point.distance",
+    "distances_sq_to": "repro.geometry.point.distance_sq",
+    "nearest_index": "repro.routing.greedy.closest_neighbor_to",
+    "group_distance_sums": "repro.routing.greedy.total_distance",
+}
 
 #: Minimum batch size for which call sites prefer the vectorized kernel;
 #: below this the per-call NumPy dispatch overhead exceeds the scalar loop.

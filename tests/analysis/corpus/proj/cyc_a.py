@@ -1,0 +1,7 @@
+"""Half of the module-level import cycle (R015)."""
+
+import proj.cyc_b
+
+
+def ping():
+    return proj.cyc_b.pong()

@@ -1,0 +1,7 @@
+"""Other half of the module-level import cycle (R015)."""
+
+import proj.cyc_a
+
+
+def pong():
+    return len(proj.cyc_a.__name__)

@@ -1,0 +1,7 @@
+"""Digest policy tables for the corpus records (``debug_note`` missing)."""
+
+DIGEST_INCLUDED_FIELDS = {
+    "Frame": ("time_s", "sender"),
+}
+
+DIGEST_EXCLUDED_FIELDS = {}

@@ -1,0 +1,10 @@
+"""Digest policy corpus: one record field escapes the policy tables (R014)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Frame:
+    time_s: float
+    sender: int
+    debug_note: str

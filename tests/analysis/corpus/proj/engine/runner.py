@@ -1,0 +1,7 @@
+"""Digest-relevant sink layer: functions here are R011 taint sinks."""
+
+from proj.util.chain import jitter
+
+
+def run(tasks):
+    return [task + jitter() for task in tasks]

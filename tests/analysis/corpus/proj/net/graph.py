@@ -1,0 +1,16 @@
+"""Cache-invalidation corpus: one compliant mutator, one violation (R012)."""
+
+
+class Grid:
+    def __init__(self):
+        self._cells = {}
+
+    def add(self, key, value):
+        self._cells[key] = value
+        self._invalidate()
+
+    def drop(self, key):
+        self._cells.pop(key, None)
+
+    def _invalidate(self):
+        pass

@@ -1,0 +1,15 @@
+"""Kernel parity corpus: one registered kernel, one missing both (R013)."""
+
+from proj.perf.scalar import scale_one
+
+SCALAR_REFERENCES = {
+    "scale_batch": "proj.perf.scalar.scale_one",
+}
+
+
+def scale_batch(values, factor):
+    return [scale_one(value, factor) for value in values]
+
+
+def offset_batch(values, delta):
+    return [value + delta for value in values]

@@ -1,0 +1,5 @@
+"""Scalar references for the kernel corpus."""
+
+
+def scale_one(value, factor):
+    return value * factor

@@ -1,0 +1,11 @@
+"""Parity-test stand-in (not named test_*.py so pytest ignores it).
+
+References ``scale_batch`` but not ``offset_batch`` — the gap R013 reports.
+"""
+
+from proj.perf.kernels import scale_batch
+from proj.perf.scalar import scale_one
+
+
+def check_parity():
+    assert scale_batch([1.0], 2.0) == [scale_one(1.0, 2.0)]

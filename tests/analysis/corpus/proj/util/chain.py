@@ -1,0 +1,11 @@
+"""Middle hop of the taint chain, plus a dead private helper (R016)."""
+
+from proj.util.clock import now
+
+
+def jitter():
+    return now() * 0.5
+
+
+def _unused_helper():
+    return 0

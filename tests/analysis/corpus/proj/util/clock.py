@@ -1,0 +1,7 @@
+"""Wall-clock helper: the corpus's nondeterminism source (R002 + R011)."""
+
+import time
+
+
+def now():
+    return time.time()

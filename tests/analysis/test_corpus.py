@@ -1,0 +1,104 @@
+"""The fixture corpus must produce exactly its seeded findings.
+
+``tests/analysis/corpus/proj`` is a miniature project with one violation of
+each whole-program rule (see its README).  Linting it with the
+corpus-scoped config must report precisely those findings — no more, no
+less — which pins both the triggers and the false-positive behavior of
+R011–R016 against real multi-module input.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import LintConfig, analyze_paths
+
+CORPUS = pathlib.Path(__file__).resolve().parent / "corpus"
+
+CORPUS_CONFIG = LintConfig(
+    exclude_paths=(),
+    relaxed_scopes=(),
+    taint_sink_scopes=("proj/engine/",),
+    mutation_scopes=("proj/net/",),
+    mutation_guarded_attrs=("_cells",),
+    invalidation_calls=("_invalidate",),
+    kernel_modules=("proj/perf/kernels.py",),
+    kernel_test_scopes=("proj/perf_tests/",),
+    digest_policy_modules=("proj/engine/digest.py",),
+    digest_record_scopes=("proj/engine/records.py",),
+    dead_code_scopes=("proj/",),
+)
+
+
+@pytest.fixture(scope="module")
+def corpus_report():
+    return analyze_paths([str(CORPUS)], config=CORPUS_CONFIG)
+
+
+def _by_rule(report, rule_id):
+    return [f for f in report.sorted_findings() if f.rule_id == rule_id]
+
+
+def test_exact_finding_set(corpus_report):
+    got = [
+        (f.rule_id, pathlib.Path(f.path).name, f.line)
+        for f in corpus_report.sorted_findings()
+    ]
+    assert got == [
+        ("R015", "cyc_a.py", 1),
+        ("R014", "records.py", 10),
+        ("R012", "graph.py", 12),
+        ("R013", "kernels.py", 14),
+        ("R013", "kernels.py", 14),
+        ("R016", "chain.py", 10),
+        ("R002", "clock.py", 7),
+        ("R011", "clock.py", 7),
+    ]
+    assert corpus_report.suppressed == []
+
+
+def test_taint_reports_the_full_multi_hop_chain(corpus_report):
+    (finding,) = _by_rule(corpus_report, "R011")
+    assert finding.message == (
+        "nondeterministic value from time.time() reaches digest-relevant "
+        "function proj.engine.runner.run via call chain "
+        "proj.engine.runner.run -> proj.util.chain.jitter -> "
+        "proj.util.clock.now"
+    )
+
+
+def test_cycle_message_names_the_loop(corpus_report):
+    (finding,) = _by_rule(corpus_report, "R015")
+    assert finding.message == (
+        "module-level import cycle: proj.cyc_a -> proj.cyc_b -> proj.cyc_a"
+    )
+
+
+def test_kernel_findings_cover_registry_and_test_reference(corpus_report):
+    messages = sorted(f.message for f in _by_rule(corpus_report, "R013"))
+    assert "no SCALAR_REFERENCES entry" in messages[0]
+    assert "not referenced by any parity test module" in messages[1]
+    assert all("offset_batch" in m for m in messages)
+
+
+def test_mutation_finding_names_the_attribute(corpus_report):
+    (finding,) = _by_rule(corpus_report, "R012")
+    assert "proj.net.graph.Grid.drop" in finding.message
+    assert "'_cells'" in finding.message
+
+
+def test_digest_finding_names_the_field(corpus_report):
+    (finding,) = _by_rule(corpus_report, "R014")
+    assert "debug_note" in finding.message
+
+
+def test_dead_code_finding_names_the_function(corpus_report):
+    (finding,) = _by_rule(corpus_report, "R016")
+    assert "proj.util.chain._unused_helper" in finding.message
+
+
+def test_default_config_excludes_the_corpus():
+    report = analyze_paths([str(CORPUS)])
+    assert report.files_checked == 0

@@ -14,7 +14,7 @@ from repro.analysis import (
     default_registry,
     path_matches,
 )
-from repro.analysis.engine import PARSE_ERROR_RULE
+from repro.analysis.engine import PARSE_ERROR_RULE, STALE_SUPPRESSION_RULE
 from repro.cli import main
 
 FLOAT_EQ = "def f(x):\n    return x == 0.0\n"
@@ -56,6 +56,74 @@ class TestSuppressions:
         report = analyze_source(source, ROUTING_PATH)
         assert any(f.rule_id == "R001" for f in report.findings)
         assert report.directive_count == 0
+
+    def test_multi_rule_comment_suppresses_both_rules(self):
+        source = (
+            "import time\n"
+            "\n"
+            "def f(x):\n"
+            "    return time.time() == 0.0  # reprolint: disable=R002,R004\n"
+        )
+        report = analyze_source(source, ROUTING_PATH)
+        assert report.findings == []
+        assert {f.rule_id for f in report.suppressed} == {"R002", "R004"}
+
+    def test_directive_on_decorator_line_covers_the_decorated_def(self):
+        # R012 anchors at the ``def`` line; the suppression sits on the
+        # decorator line above it and must still cover the finding.
+        source = (
+            "class Grid:\n"
+            "    def __init__(self):\n"
+            "        self._cells = {}\n"
+            "\n"
+            "    @locked  # reprolint: disable=R012\n"
+            "    def drop(self, key):\n"
+            "        self._cells.pop(key, None)\n"
+        )
+        report = analyze_source(source, "src/repro/network/fixture.py")
+        assert [f for f in report.findings if f.rule_id == "R012"] == []
+        assert any(f.rule_id == "R012" for f in report.suppressed)
+
+
+class TestStaleSuppressions:
+    def test_unused_directive_reports_w001(self):
+        source = "def f():\n    return 1  # reprolint: disable=R004\n"
+        report = analyze_source(source, ROUTING_PATH)
+        assert [f.rule_id for f in report.findings] == [STALE_SUPPRESSION_RULE]
+        finding = report.findings[0]
+        assert finding.line == 2
+        assert "R004" in finding.message
+
+    def test_used_directive_reports_nothing(self):
+        source = "def f(x):\n    return x == 0.0  # reprolint: disable=R004\n"
+        report = analyze_source(source, ROUTING_PATH)
+        assert report.findings == []
+
+    def test_w001_is_itself_suppressible(self):
+        source = "def f():\n    return 1  # reprolint: disable=R004,W001\n"
+        report = analyze_source(source, ROUTING_PATH)
+        assert report.findings == []
+
+    def test_stale_file_level_directive_reports_w001(self):
+        source = "# reprolint: disable=R001\ndef f():\n    return 1\n"
+        report = analyze_source(source, ROUTING_PATH)
+        assert [f.rule_id for f in report.findings] == [STALE_SUPPRESSION_RULE]
+        assert report.findings[0].line == 1
+
+    def test_stale_decorator_line_directive_stays_quiet_when_used(self):
+        # The decorator-line alias makes the directive "used" by the def's
+        # finding, so no W001 fires.
+        source = (
+            "class Grid:\n"
+            "    def __init__(self):\n"
+            "        self._cells = {}\n"
+            "\n"
+            "    @locked  # reprolint: disable=R012\n"
+            "    def drop(self, key):\n"
+            "        self._cells.pop(key, None)\n"
+        )
+        report = analyze_source(source, "src/repro/network/fixture.py")
+        assert report.findings == []
 
 
 class TestAllowlists:
@@ -129,8 +197,8 @@ class TestEngine:
         with pytest.raises(KeyError):
             default_registry().create_rules(only=["R999"])
 
-    def test_ten_builtin_rules(self):
-        assert default_registry().rule_ids() == [f"R{n:03d}" for n in range(1, 11)]
+    def test_sixteen_builtin_rules(self):
+        assert default_registry().rule_ids() == [f"R{n:03d}" for n in range(1, 17)]
 
     def test_analyze_paths_walks_directories(self, tmp_path):
         package = tmp_path / "src" / "repro" / "routing"
@@ -177,3 +245,46 @@ class TestLintCli:
         )
         assert main(["lint", "--show-suppressed", str(tmp_path)]) == 0
         assert "[suppressed]" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        dirty = tmp_path / "repro" / "routing"
+        dirty.mkdir(parents=True)
+        (dirty / "bad.py").write_text(FLOAT_EQ)
+        assert main(["lint", "--format", "json", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["findings"][0]["rule_id"] == "R004"
+        assert payload["findings"][0]["fingerprint"]
+
+    def test_sarif_format_written_to_file(self, tmp_path, capsys):
+        import json
+
+        dirty = tmp_path / "repro" / "routing"
+        dirty.mkdir(parents=True)
+        (dirty / "bad.py").write_text(FLOAT_EQ)
+        out_path = tmp_path / "lint.sarif"
+        assert (
+            main(
+                [
+                    "lint",
+                    "--format",
+                    "sarif",
+                    "--output",
+                    str(out_path),
+                    str(tmp_path / "repro"),
+                ]
+            )
+            == 1
+        )
+        assert capsys.readouterr().out == ""
+        log = json.loads(out_path.read_text(encoding="utf-8"))
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        result = run["results"][0]
+        assert result["ruleId"] == "R004"
+        assert result["partialFingerprints"]["reprolint/v1"]
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {"R001", "R016", "E000", "W001"} <= rule_ids

@@ -1,0 +1,224 @@
+"""The whole-program substrate: module naming, import graph, call graph."""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+from repro.analysis import LintConfig, Project, analyze_paths, module_name_for
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+class TestModuleNaming:
+    def test_src_layout_prefix_is_dropped(self):
+        assert module_name_for("src/repro/network/graph.py") == "repro.network.graph"
+
+    def test_init_names_the_package(self):
+        assert module_name_for("src/repro/routing/__init__.py") == "repro.routing"
+
+    def test_windows_separators(self):
+        assert module_name_for("src\\repro\\geometry\\point.py") == (
+            "repro.geometry.point"
+        )
+
+    def test_directory_root_anchors_names(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        (corpus / "proj").mkdir(parents=True)
+        target = corpus / "proj" / "mod.py"
+        target.write_text("x = 1\n")
+        assert module_name_for(str(target), str(corpus)) == "proj.mod"
+
+
+class TestImportGraph:
+    def test_from_import_resolves_to_defining_module(self):
+        project = Project.from_sources(
+            {
+                "src/repro/a.py": "from repro.b import helper\n",
+                "src/repro/b.py": "def helper():\n    return 1\n",
+            }
+        )
+        assert project.internal_import_graph() == {
+            "repro.a": ["repro.b"],
+            "repro.b": [],
+        }
+
+    def test_lazy_imports_do_not_count_as_cycle_edges(self):
+        project = Project.from_sources(
+            {
+                "src/repro/a.py": (
+                    "def use_b():\n    import repro.b\n    return repro.b\n"
+                ),
+                "src/repro/b.py": "import repro.a\n",
+            }
+        )
+        assert project.import_cycles() == []
+        lazy = project.internal_import_graph(include_lazy=True)
+        assert lazy["repro.a"] == ["repro.b"]
+
+    def test_type_checking_imports_are_lazy(self):
+        project = Project.from_sources(
+            {
+                "src/repro/a.py": (
+                    "from typing import TYPE_CHECKING\n"
+                    "if TYPE_CHECKING:\n"
+                    "    import repro.b\n"
+                ),
+                "src/repro/b.py": "import repro.a\n",
+            }
+        )
+        assert project.import_cycles() == []
+
+    def test_three_module_cycle_is_one_component(self):
+        project = Project.from_sources(
+            {
+                "src/repro/a.py": "import repro.b\n",
+                "src/repro/b.py": "import repro.c\n",
+                "src/repro/c.py": "import repro.a\n",
+            }
+        )
+        assert project.import_cycles() == [("repro.a", "repro.b", "repro.c")]
+
+    def test_relative_import_resolution(self):
+        project = Project.from_sources(
+            {
+                "src/repro/pkg/__init__.py": "",
+                "src/repro/pkg/a.py": "from . import b\nfrom .b import helper\n",
+                "src/repro/pkg/b.py": "def helper():\n    return 1\n",
+            }
+        )
+        graph = project.internal_import_graph()
+        # ``from . import b`` also executes the package __init__, so the
+        # package itself is a legitimate (conservative) edge target.
+        assert graph["repro.pkg.a"] == ["repro.pkg", "repro.pkg.b"]
+
+    def test_parse_error_is_recorded_not_raised(self):
+        project = Project.from_sources({"src/repro/bad.py": "def broken(:\n"})
+        assert project.modules == []
+        assert "src/repro/bad.py" in project.parse_errors
+
+
+class TestCallGraph:
+    def test_cross_module_call_resolution(self):
+        project = Project.from_sources(
+            {
+                "src/repro/a.py": (
+                    "from repro.b import helper\n"
+                    "\n"
+                    "def caller():\n"
+                    "    return helper()\n"
+                ),
+                "src/repro/b.py": "def helper():\n    return 1\n",
+            }
+        )
+        graph = project.callgraph
+        assert ("repro.a.caller", "repro.b.helper") in {
+            (e.caller, e.callee) for e in graph.edges
+        }
+
+    def test_self_method_dispatch(self):
+        project = Project.from_sources(
+            {
+                "src/repro/a.py": (
+                    "class Box:\n"
+                    "    def outer(self):\n"
+                    "        return self.inner()\n"
+                    "\n"
+                    "    def inner(self):\n"
+                    "        return 1\n"
+                )
+            }
+        )
+        graph = project.callgraph
+        assert ("repro.a.Box.outer", "repro.a.Box.inner") in {
+            (e.caller, e.callee) for e in graph.edges
+        }
+
+    def test_inherited_method_dispatch(self):
+        project = Project.from_sources(
+            {
+                "src/repro/a.py": (
+                    "class Base:\n"
+                    "    def ping(self):\n"
+                    "        return 1\n"
+                    "\n"
+                    "class Child(Base):\n"
+                    "    def run(self):\n"
+                    "        return self.ping()\n"
+                )
+            }
+        )
+        graph = project.callgraph
+        assert ("repro.a.Child.run", "repro.a.Base.ping") in {
+            (e.caller, e.callee) for e in graph.edges
+        }
+
+    def test_constructor_resolves_to_init(self):
+        project = Project.from_sources(
+            {
+                "src/repro/a.py": (
+                    "class Box:\n"
+                    "    def __init__(self):\n"
+                    "        self.x = 1\n"
+                    "\n"
+                    "def make():\n"
+                    "    return Box()\n"
+                )
+            }
+        )
+        graph = project.callgraph
+        assert ("repro.a.make", "repro.a.Box.__init__") in {
+            (e.caller, e.callee) for e in graph.edges
+        }
+
+    def test_reachable_from_is_transitive(self):
+        project = Project.from_sources(
+            {
+                "src/repro/a.py": (
+                    "def top():\n"
+                    "    return mid()\n"
+                    "\n"
+                    "def mid():\n"
+                    "    return leaf()\n"
+                    "\n"
+                    "def leaf():\n"
+                    "    return 1\n"
+                )
+            }
+        )
+        reachable = project.callgraph.reachable_from("repro.a.top")
+        assert {"repro.a.mid", "repro.a.leaf"} <= reachable
+
+    def test_shortest_caller_path_is_goal_first(self):
+        project = Project.from_sources(
+            {
+                "src/repro/a.py": (
+                    "def top():\n"
+                    "    return mid()\n"
+                    "\n"
+                    "def mid():\n"
+                    "    return leaf()\n"
+                    "\n"
+                    "def leaf():\n"
+                    "    return 1\n"
+                )
+            }
+        )
+        path = project.callgraph.shortest_caller_path(
+            "repro.a.leaf", lambda q: q == "repro.a.top"
+        )
+        assert path == ["repro.a.top", "repro.a.mid", "repro.a.leaf"]
+
+
+class TestWholeRepoPerformance:
+    def test_full_lint_pass_stays_fast(self):
+        # Operator-side stopwatch, not simulation state: the analyzer must
+        # stay cheap enough to run on every commit.
+        start = time.perf_counter()
+        report = analyze_paths(
+            [str(REPO_ROOT / p) for p in ("src", "tests", "scripts", "benchmarks")],
+            config=LintConfig(),
+        )
+        elapsed = time.perf_counter() - start
+        assert report.files_checked > 100
+        assert elapsed < 5.0, f"whole-repo lint took {elapsed:.2f}s"

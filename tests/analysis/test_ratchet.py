@@ -1,0 +1,86 @@
+"""The ratchet gate: new findings fail, fixes require a baseline update."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+spec = importlib.util.spec_from_file_location(
+    "lint_ratchet", REPO_ROOT / "scripts" / "lint_ratchet.py"
+)
+assert spec is not None and spec.loader is not None
+lint_ratchet = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(lint_ratchet)
+
+DIRTY = "def f(x):\n    return x == 0.0\n"
+CLEAN = "def f(x):\n    return x\n"
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    package = tmp_path / "repro" / "routing"
+    package.mkdir(parents=True)
+    return tmp_path, package / "mod.py"
+
+
+def _run(tmp_path, *extra):
+    baseline = tmp_path / "baseline.json"
+    return lint_ratchet.main(
+        [str(tmp_path), "--baseline", str(baseline), *extra]
+    )
+
+
+def test_missing_baseline_is_an_error(tree, capsys):
+    tmp_path, mod = tree
+    mod.write_text(CLEAN)
+    assert _run(tmp_path) == 2
+    assert "not found" in capsys.readouterr().err
+
+
+def test_update_then_pass(tree):
+    tmp_path, mod = tree
+    mod.write_text(DIRTY)
+    assert _run(tmp_path, "--update") == 0
+    assert _run(tmp_path) == 0
+
+
+def test_new_finding_fails_the_gate(tree, capsys):
+    tmp_path, mod = tree
+    mod.write_text(CLEAN)
+    assert _run(tmp_path, "--update") == 0
+    mod.write_text(DIRTY)
+    assert _run(tmp_path) == 1
+    assert "NEW R004" in capsys.readouterr().out
+
+
+def test_fixed_finding_requires_a_baseline_update(tree, capsys):
+    tmp_path, mod = tree
+    mod.write_text(DIRTY)
+    assert _run(tmp_path, "--update") == 0
+    mod.write_text(CLEAN)
+    assert _run(tmp_path) == 1
+    assert "FIXED" in capsys.readouterr().out
+    assert _run(tmp_path, "--update") == 0
+    assert _run(tmp_path) == 0
+
+
+def test_sarif_side_output(tree, tmp_path_factory):
+    tmp_path, mod = tree
+    mod.write_text(DIRTY)
+    sarif_path = tmp_path / "out.sarif"
+    assert _run(tmp_path, "--update", "--sarif", str(sarif_path)) == 0
+    log = json.loads(sarif_path.read_text(encoding="utf-8"))
+    assert log["version"] == "2.1.0"
+    assert log["runs"][0]["results"][0]["ruleId"] == "R004"
+
+
+def test_committed_baseline_is_empty():
+    payload = json.loads(
+        (REPO_ROOT / "lint_baseline.json").read_text(encoding="utf-8")
+    )
+    assert payload["findings"] == {}

@@ -1,7 +1,10 @@
 """The lint gate: the shipped tree must satisfy its own analyzer.
 
-This is the pytest face of ``repro lint src/`` — CI runs both, but this
-test keeps the gate active for anyone who only runs the test suite.
+This is the pytest face of ``repro lint`` — CI runs both, but this test
+keeps the gate active for anyone who only runs the test suite.  The walk
+covers the whole program (src + tests + scripts + benchmarks): the
+graph-aware rules R011–R016 are only sound when the kernels, their parity
+tests and the digest policy are all loaded into one project.
 """
 
 from __future__ import annotations
@@ -9,9 +12,13 @@ from __future__ import annotations
 import pathlib
 
 from repro.analysis import analyze_paths, default_registry
+from repro.analysis.engine import PARSE_ERROR_RULE, STALE_SUPPRESSION_RULE
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 SRC = REPO_ROOT / "src" / "repro"
+WHOLE_PROGRAM = [
+    str(REPO_ROOT / part) for part in ("src", "tests", "scripts", "benchmarks")
+]
 
 #: Acceptance budget: the tree must stand on fixes, not on silencing.
 MAX_SUPPRESSION_DIRECTIVES = 4
@@ -21,6 +28,12 @@ def test_source_tree_has_no_findings():
     report = analyze_paths([str(SRC)])
     assert report.files_checked > 50, "lint walk missed most of the tree"
     assert report.clean, "reprolint findings in src/:\n" + report.render()
+
+
+def test_whole_program_has_no_findings():
+    report = analyze_paths(WHOLE_PROGRAM)
+    assert report.files_checked > 150, "whole-program walk missed files"
+    assert report.clean, "reprolint findings:\n" + report.render()
 
 
 def test_linklayer_package_is_covered_and_clean():
@@ -33,10 +46,10 @@ def test_linklayer_package_is_covered_and_clean():
 
 
 def test_suppression_directives_stay_rare():
-    report = analyze_paths([str(SRC)])
+    report = analyze_paths(WHOLE_PROGRAM)
     assert report.directive_count <= MAX_SUPPRESSION_DIRECTIVES, (
-        f"{report.directive_count} suppression comments in src/ exceed the "
-        f"budget of {MAX_SUPPRESSION_DIRECTIVES}; fix the code instead"
+        f"{report.directive_count} suppression comments exceed the budget "
+        f"of {MAX_SUPPRESSION_DIRECTIVES}; fix the code instead"
     )
 
 
@@ -44,3 +57,7 @@ def test_docs_cover_every_rule():
     guide = (REPO_ROOT / "docs" / "ANALYSIS.md").read_text(encoding="utf-8")
     for rule_id in default_registry().rule_ids():
         assert rule_id in guide, f"docs/ANALYSIS.md does not document {rule_id}"
+    for engine_rule in (PARSE_ERROR_RULE, STALE_SUPPRESSION_RULE):
+        assert engine_rule in guide, (
+            f"docs/ANALYSIS.md does not document {engine_rule}"
+        )

@@ -4,20 +4,26 @@ that suppresses the finding with ``# reprolint: disable=...``."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Tuple
 
 import pytest
 
-from repro.analysis import analyze_source, default_registry
+from repro.analysis import Project, analyze_project, default_registry
 
 
 @dataclass(frozen=True)
 class RuleCase:
-    """Fixture pair for one rule, analyzed under ``path``."""
+    """Fixture pair for one rule, analyzed under ``path``.
+
+    ``extra`` holds companion modules for the whole-program rules whose
+    contract spans two files (digest policy, import cycles); the finding
+    itself always lands in ``path``.
+    """
 
     path: str
     bad: str
     good: str
+    extra: Tuple[Tuple[str, str], ...] = ()
 
 
 CASES: Dict[str, RuleCase] = {
@@ -179,11 +185,123 @@ CASES: Dict[str, RuleCase] = {
             "c = compute()\n"
         ),
     ),
+    "R011": RuleCase(
+        path="src/repro/engine/fixture.py",
+        bad=(
+            "import time\n"
+            "\n"
+            "def stamp():\n"
+            "    return time.time()\n"
+        ),
+        good=(
+            "def stamp(simulator):\n"
+            "    return simulator.now\n"
+        ),
+    ),
+    "R012": RuleCase(
+        path="src/repro/network/fixture.py",
+        bad=(
+            "class Grid:\n"
+            "    def __init__(self):\n"
+            "        self._cells = {}\n"
+            "\n"
+            "    def drop(self, key):\n"
+            "        self._cells.pop(key, None)\n"
+        ),
+        good=(
+            "class Grid:\n"
+            "    def __init__(self):\n"
+            "        self._cells = {}\n"
+            "\n"
+            "    def drop(self, key):\n"
+            "        self._cells.pop(key, None)\n"
+            "        self._refresh_cell(key)\n"
+            "\n"
+            "    def _refresh_cell(self, key):\n"
+            "        pass\n"
+        ),
+    ),
+    "R013": RuleCase(
+        path="src/repro/perf/kernels.py",
+        bad=(
+            "def scale_batch(values):\n"
+            "    return [v * 2.0 for v in values]\n"
+        ),
+        good=(
+            "SCALAR_REFERENCES = {\n"
+            "    'scale_batch': 'repro.perf.kernels._scale_one',\n"
+            "}\n"
+            "\n"
+            "def _scale_one(value):\n"
+            "    return value * 2.0\n"
+            "\n"
+            "def scale_batch(values):\n"
+            "    return [_scale_one(v) for v in values]\n"
+        ),
+    ),
+    "R014": RuleCase(
+        path="src/repro/engine/trace.py",
+        bad=(
+            "from dataclasses import dataclass\n"
+            "\n"
+            "@dataclass\n"
+            "class FrameRecord:\n"
+            "    time_s: float\n"
+            "    debug_note: str\n"
+        ),
+        good=(
+            "from dataclasses import dataclass\n"
+            "\n"
+            "@dataclass\n"
+            "class FrameRecord:\n"
+            "    time_s: float\n"
+        ),
+        extra=(
+            (
+                "src/repro/engine/digest.py",
+                "DIGEST_INCLUDED_FIELDS = {\n"
+                "    'FrameRecord': ('time_s',),\n"
+                "}\n"
+                "\n"
+                "DIGEST_EXCLUDED_FIELDS = {}\n",
+            ),
+        ),
+    ),
+    "R015": RuleCase(
+        path="src/repro/alpha.py",
+        bad="import repro.beta\n",
+        good=(
+            "def use_beta():\n"
+            "    import repro.beta\n"
+            "    return repro.beta\n"
+        ),
+        extra=(("src/repro/beta.py", "import repro.alpha\n"),),
+    ),
+    "R016": RuleCase(
+        path="src/repro/network/fixture.py",
+        bad=(
+            "def _lonely():\n"
+            "    return 0\n"
+        ),
+        good=(
+            "def _helper():\n"
+            "    return 0\n"
+            "\n"
+            "def use():\n"
+            "    return _helper()\n"
+        ),
+    ),
 }
 
 
-def _findings_for(rule_id: str, source: str, path: str):
-    report = analyze_source(source, path)
+def _analyze(case: RuleCase, source: str):
+    sources = {case.path: source}
+    sources.update(dict(case.extra))
+    return analyze_project(Project.from_sources(sources))
+
+
+def _findings_for(rule_id: str, case: RuleCase, source: str):
+    report = _analyze(case, source)
     return [f for f in report.findings if f.rule_id == rule_id]
 
 
@@ -194,7 +312,7 @@ def test_every_builtin_rule_has_a_case():
 @pytest.mark.parametrize("rule_id", sorted(CASES))
 def test_bad_fixture_triggers(rule_id):
     case = CASES[rule_id]
-    findings = _findings_for(rule_id, case.bad, case.path)
+    findings = _findings_for(rule_id, case, case.bad)
     assert findings, f"{rule_id} did not fire on its trigger fixture"
     for finding in findings:
         assert finding.path == case.path
@@ -206,14 +324,13 @@ def test_bad_fixture_triggers(rule_id):
 @pytest.mark.parametrize("rule_id", sorted(CASES))
 def test_good_fixture_is_clean(rule_id):
     case = CASES[rule_id]
-    assert _findings_for(rule_id, case.good, case.path) == []
+    assert _findings_for(rule_id, case, case.good) == []
 
 
 @pytest.mark.parametrize("rule_id", sorted(CASES))
 def test_file_level_suppression_silences(rule_id):
     case = CASES[rule_id]
-    suppressed_source = f"# reprolint: disable={rule_id}\n" + case.bad
-    report = analyze_source(suppressed_source, case.path)
+    report = _analyze(case, f"# reprolint: disable={rule_id}\n" + case.bad)
     assert [f for f in report.findings if f.rule_id == rule_id] == []
     assert any(f.rule_id == rule_id for f in report.suppressed)
     assert report.directive_count == 1
@@ -222,7 +339,7 @@ def test_file_level_suppression_silences(rule_id):
 @pytest.mark.parametrize("rule_id", sorted(CASES))
 def test_rendered_finding_names_the_rule(rule_id):
     case = CASES[rule_id]
-    findings = _findings_for(rule_id, case.bad, case.path)
+    findings = _findings_for(rule_id, case, case.bad)
     rendered = findings[0].render()
     assert rule_id in rendered
     assert case.path in rendered

@@ -56,3 +56,51 @@ class TestBatchDigest:
         b = run_task(network, GMPProtocol(), 5, [60, 120, 180], task_id=2)
         assert batch_digest([a, b]) != batch_digest([b, a])
         assert batch_digest([a, b]) == batch_digest([a, b])
+
+
+class TestDigestFieldPolicy:
+    """The policy tables must classify exactly the fields that exist.
+
+    reprolint R014 checks this statically; this is the runtime half of the
+    same contract — adding a record field without declaring its digest fate
+    fails here even when the linter is not run.
+    """
+
+    RECORDS = {
+        "TaskResult": "repro.engine.stats",
+        "ResultSummary": "repro.engine.stats",
+        "TaskTrace": "repro.engine.trace",
+        "FrameRecord": "repro.engine.trace",
+        "CopyRecord": "repro.engine.trace",
+    }
+
+    def _actual_fields(self, class_name):
+        import dataclasses
+        import importlib
+
+        cls = getattr(importlib.import_module(self.RECORDS[class_name]), class_name)
+        return {f.name for f in dataclasses.fields(cls)}
+
+    def test_every_field_is_classified_exactly_once(self):
+        from repro.engine.digest import (
+            DIGEST_EXCLUDED_FIELDS,
+            DIGEST_INCLUDED_FIELDS,
+        )
+
+        for class_name in self.RECORDS:
+            included = set(DIGEST_INCLUDED_FIELDS.get(class_name, ()))
+            excluded = set(DIGEST_EXCLUDED_FIELDS.get(class_name, ()))
+            assert not included & excluded, f"{class_name}: fields in both tables"
+            assert included | excluded == self._actual_fields(class_name), (
+                f"{class_name}: policy tables out of sync with the dataclass"
+            )
+
+    def test_policy_tables_cover_no_unknown_records(self):
+        from repro.engine.digest import (
+            DIGEST_EXCLUDED_FIELDS,
+            DIGEST_INCLUDED_FIELDS,
+        )
+
+        known = set(self.RECORDS)
+        assert set(DIGEST_INCLUDED_FIELDS) <= known
+        assert set(DIGEST_EXCLUDED_FIELDS) <= known
