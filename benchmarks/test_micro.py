@@ -21,8 +21,10 @@ from repro.network import RadioConfig, build_network
 from repro.network.topology import uniform_random_topology
 from repro.perf.cache import caches_disabled, clear_caches
 from repro.perf.kernels import vectorized_disabled
+from repro.perf.soa import soa_disabled
 from repro.routing import GMPProtocol, LGSProtocol, PBMProtocol, SMTProtocol
 from repro.simkit.rng import RandomStreams
+from repro.simkit.scheduler import CalendarScheduler, EventScheduler
 from repro.simkit.simulator import Simulator
 from repro.steiner.kmb import kmb_steiner_tree
 from repro.steiner.mst import euclidean_mst
@@ -258,6 +260,90 @@ def test_bench_reprolint_whole_repo(benchmark):
         return report.files_checked
 
     benchmark.pedantic(lint_everything, rounds=3, iterations=1)
+
+
+# ----------------------------------------------------------------------
+# Struct-of-arrays core: network build + event-scheduler backends
+# ----------------------------------------------------------------------
+
+
+def test_bench_network_build_5k_soa(benchmark):
+    """50k-regime adjacency construction: the ``unit_disk_rows`` CSR path.
+
+    Paired with ``test_bench_network_build_5k_legacy`` below: the median
+    ratio between the two is the SoA build speedup (~3x on the reference
+    machine; see docs/PERFORMANCE.md).
+    """
+    config = scaled_config(PaperConfig(), 5000)
+    rng = np.random.default_rng(41)
+    points = uniform_random_topology(
+        config.node_count, config.field_width_m, config.field_height_m, rng
+    )
+    benchmark.pedantic(
+        lambda: build_network(points, RadioConfig()),
+        rounds=5,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+def test_bench_network_build_5k_legacy(benchmark):
+    """The same 5k-node build through the per-node object-graph scan."""
+    config = scaled_config(PaperConfig(), 5000)
+    rng = np.random.default_rng(41)
+    points = uniform_random_topology(
+        config.node_count, config.field_width_m, config.field_height_m, rng
+    )
+
+    def build():
+        with soa_disabled():
+            return build_network(points, RadioConfig())
+
+    benchmark.pedantic(build, rounds=5, iterations=1, warmup_rounds=1)
+
+
+def _mac_like_schedule(scheduler, churn=60_000, live=30_000, seed=211):
+    """Drive a scheduler through a contended-MAC-shaped event stream.
+
+    Mimics what the CSMA link layer generates at the 50k-node scale: tens
+    of thousands of concurrently pending backoff/ACK/beacon timers with a
+    dense sub-millisecond near-future band, churned hold-one-pop-one in
+    steady state.  The binary heap pays O(log live) per operation here;
+    the calendar queue's windows keep it O(1) amortized — this pair
+    measures that gap (the same stream, both backends).
+    """
+    rng = np.random.default_rng(seed)
+    delays = rng.uniform(1e-4, 5e-3, live + churn)
+    now = 0.0
+    for i in range(live):
+        scheduler.schedule(now + float(delays[i]), lambda: None)
+    for i in range(live, live + churn):
+        event = scheduler.pop_next()
+        now = event.time
+        scheduler.schedule(now + float(delays[i]), lambda: None)
+    while len(scheduler) > 0:
+        scheduler.pop_next()
+    return live + churn
+
+
+def test_bench_scheduler_calendar(benchmark):
+    """Calendar-queue backend under the contended-MAC event stream."""
+    benchmark.pedantic(
+        lambda: _mac_like_schedule(CalendarScheduler()),
+        rounds=5,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+def test_bench_scheduler_heap(benchmark):
+    """Binary-heap backend on the identical stream — the A arm of the pair."""
+    benchmark.pedantic(
+        lambda: _mac_like_schedule(EventScheduler()),
+        rounds=5,
+        iterations=1,
+        warmup_rounds=1,
+    )
 
 
 def test_bench_beacon_round(benchmark, micro_network):

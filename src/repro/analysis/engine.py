@@ -118,6 +118,8 @@ class LintConfig:
         "locations",
         "nodes",
         "_failed",
+        "alive",
+        "indices",
     )
     #: Function names that count as cache invalidation (R012).
     invalidation_calls: Tuple[str, ...] = (

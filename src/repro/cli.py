@@ -91,7 +91,10 @@ def _build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "scale",
         parents=[experiment_options],
-        help="large-scale constant-density sweep (2k/5k/10k nodes, k up to 100)",
+        help=(
+            "large-scale constant-density sweep (presets: smoke/quick/paper "
+            "at 2k-10k nodes, smoke50k at 50k, deep at 50k+100k)"
+        ),
     )
 
     lint = subparsers.add_parser(
@@ -154,6 +157,28 @@ def _write_json(
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
     progress(f"wrote {path}")
+
+
+def _report_peak_rss(progress) -> None:
+    """Report peak resident set size via ``progress`` (stderr, not stdout).
+
+    Memory telemetry for the large-scale sweeps; stdout stays reserved for
+    results so CI can diff serial vs parallel runs byte-for-byte.  Worker
+    processes are accounted separately — ``ru_maxrss`` of reaped children
+    is the largest single worker, not their sum.
+    """
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    divisor = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    peak_self = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / divisor
+    peak_child = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss / divisor
+    message = f"peak RSS: {peak_self:.0f} MiB"
+    if peak_child > 0.0:
+        message += f" (largest worker {peak_child:.0f} MiB)"
+    progress(message)
 
 
 def _run_lint(args: argparse.Namespace) -> int:
@@ -317,6 +342,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         print(render_scale_table(sweep))
         print(f"digest: {sweep.digest()}")
+        _report_peak_rss(progress)
         if args.json_path:
             _write_json(
                 args.json_path,

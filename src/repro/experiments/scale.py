@@ -1,8 +1,9 @@
-"""Large-scale constant-density sweep: 2k/5k/10k nodes, groups up to 100.
+"""Large-scale constant-density sweep: 2k up to 100k nodes, groups up to 100.
 
 The paper evaluates 1000-node deployments; this sweep stresses the
 implementation well beyond that regime, which is what the batched geometry
-kernels (:mod:`repro.perf.kernels`) and array-backed hot paths exist for.
+kernels (:mod:`repro.perf.kernels`), the struct-of-arrays network core and
+the calendar-queue scheduler exist for.
 Density is held at the paper's Table-1 operating point — 1000 nodes per
 km² with the 150 m radio — by growing the field side as
 ``1000 m * sqrt(n / 1000)``, so per-node degree (and thus protocol
@@ -43,7 +44,9 @@ from repro.perf.parallel import ProgressFn, run_units
 from repro.simkit.rng import RandomStreams
 
 #: TTL generous enough for the 10k-node field diagonal (~4.5 km at 150 m
-#: per hop); the Table-1 value of 100 is tuned to the 1 km field.
+#: per hop); the Table-1 value of 100 is tuned to the 1 km field.  Fields
+#: whose diagonal needs more than this (the 100k preset's 14.1 km) scale it
+#: up further — see :func:`scaled_config`.
 _SCALE_MAX_PATH_LENGTH = 250
 
 
@@ -86,11 +89,35 @@ SCALE_PAPER = ScaleSweepScale(
     network_count=3,
 )
 
-_SCALE_SCALES = {s.name: s for s in (SCALE_SMOKE, SCALE_QUICK, SCALE_PAPER)}
+#: Perf-smoke CI preset for the struct-of-arrays core: one 50k-node
+#: deployment (a ~7.1 km field at Table-1 density, ~67 average degree),
+#: run serial and with ``--workers`` and diffed byte-for-byte.
+SCALE_SMOKE50K = ScaleSweepScale(
+    name="smoke50k",
+    node_counts=(50_000,),
+    group_sizes=(20, 100),
+    tasks_per_cell=2,
+    network_count=1,
+)
+
+#: The headline scaling run: 50k and 100k nodes at constant density —
+#: 50x-100x the paper's deployments on one machine.
+SCALE_DEEP = ScaleSweepScale(
+    name="deep",
+    node_counts=(50_000, 100_000),
+    group_sizes=(20, 100),
+    tasks_per_cell=2,
+    network_count=1,
+)
+
+_SCALE_SCALES = {
+    s.name: s
+    for s in (SCALE_SMOKE, SCALE_QUICK, SCALE_PAPER, SCALE_SMOKE50K, SCALE_DEEP)
+}
 
 
 def scale_sweep_scale_by_name(name: str) -> ScaleSweepScale:
-    """Look up a large-scale sweep preset (``smoke`` / ``quick`` / ``paper``)."""
+    """Look up a sweep preset (``smoke``/``quick``/``paper``/``smoke50k``/``deep``)."""
     try:
         return _SCALE_SCALES[name]
     except KeyError:
@@ -100,14 +127,26 @@ def scale_sweep_scale_by_name(name: str) -> ScaleSweepScale:
 
 
 def scaled_config(base: PaperConfig, node_count: int) -> PaperConfig:
-    """Table-1 config resized to ``node_count`` at constant node density."""
+    """Table-1 config resized to ``node_count`` at constant node density.
+
+    The hop TTL grows with the field: three radio ranges per diagonal
+    kilometre leaves the same relative headroom for perimeter detours at
+    100k nodes as the fixed 250 does at 10k.  Node counts at or below 10k
+    keep the historical 250 (the diagonal bound is smaller there), so
+    existing preset digests are unchanged.
+    """
     side = 1000.0 * math.sqrt(node_count / 1000.0)
+    diagonal_hops = math.ceil(
+        3.0 * side * math.sqrt(2.0) / base.radio.radio_range_m
+    )
     return dataclasses.replace(
         base,
         node_count=node_count,
         field_width_m=side,
         field_height_m=side,
-        max_path_length=max(base.max_path_length, _SCALE_MAX_PATH_LENGTH),
+        max_path_length=max(
+            base.max_path_length, _SCALE_MAX_PATH_LENGTH, diagonal_hops
+        ),
     )
 
 
@@ -242,15 +281,30 @@ def run_scale_sweep(
     scl = scale or SCALE_SMOKE
     sweep = ScaleSweep(config=base, scale=scl)
     specs = _scale_specs(include_grd)
-    engine = EngineConfig(max_path_length=_SCALE_MAX_PATH_LENGTH)
     cells = [
         (node_count, net_index, k)
         for node_count in scl.node_counts
         for net_index in range(scl.network_count)
         for k in scl.group_sizes
     ]
+    # One engine per node count: the TTL follows the scaled field diagonal
+    # (identical to the old fixed 250 for every count at or below 10k).
+    engines = {
+        node_count: EngineConfig(
+            max_path_length=scaled_config(base, node_count).max_path_length
+        )
+        for node_count in scl.node_counts
+    }
     units = [
-        (scaled_config(base, node_count), scl, engine, node_count, net_index, k, spec)
+        (
+            scaled_config(base, node_count),
+            scl,
+            engines[node_count],
+            node_count,
+            net_index,
+            k,
+            spec,
+        )
         for node_count, net_index, k in cells
         for spec in specs
     ]

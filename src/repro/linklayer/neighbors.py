@@ -152,11 +152,15 @@ class BeaconService:
 
         Crashed nodes beaconed *before* crashing, so they are present too —
         exactly the stale state a between-refresh failure leaves behind.
+        Reads neighbor ids straight off the network's CSR adjacency rows
+        (one O(1) slice per node) and resolves each advertised location
+        once, instead of chasing node objects per (node, neighbor) pair.
         """
-        for node in self._network.nodes:
-            table = self._tables[node.node_id]
-            for neighbor in self._network.neighbors_of(node.node_id):
-                table.update(neighbor, self._network.location_of(neighbor), 0.0)
+        network = self._network
+        advertised = [network.location_of(i) for i in range(network.node_count)]
+        for node_id, table in enumerate(self._tables):
+            for neighbor in network.neighbors_of(node_id):
+                table.update(neighbor, advertised[neighbor], 0.0)
 
     @property
     def expiry_s(self) -> float:

@@ -16,7 +16,12 @@ from repro.network.topology import (
     topology_with_voids,
     uniform_random_topology,
 )
-from repro.network.graph import SpatialGrid, WirelessNetwork, build_network
+from repro.network.graph import (
+    CSRAdjacency,
+    SpatialGrid,
+    WirelessNetwork,
+    build_network,
+)
 from repro.network.planar import gabriel_neighbors, rng_neighbors
 from repro.network.energy import EnergyMeter, EnergyModel
 from repro.network.mobility import RandomWaypointMobility
@@ -28,6 +33,7 @@ __all__ = [
     "grid_topology",
     "clustered_topology",
     "topology_with_voids",
+    "CSRAdjacency",
     "SpatialGrid",
     "WirelessNetwork",
     "build_network",

@@ -9,6 +9,15 @@ and connectivity checks.
 Protocol implementations never touch this class directly — they see only the
 per-node :class:`repro.routing.base.NodeView` carved out of it, which is how
 the paper's locality constraint is enforced in code.
+
+Internally the network is struct-of-arrays: node coordinates, liveness and
+residual energy are flat NumPy arrays, and all three neighbor relations
+(unit-disk, Gabriel, RNG) share one CSR representation
+(:class:`CSRAdjacency`) whose rows are O(1) array slices.  The public API is
+unchanged — ``neighbors_of`` still hands out tuples of plain ints — and
+``repro.perf.soa.set_soa_enabled(False)`` routes construction back through
+the per-node object-graph path for A/B digest testing; rows are identical
+either way.
 """
 
 from __future__ import annotations
@@ -24,7 +33,8 @@ from repro.geometry import Point, distance
 from repro.network.node import SensorNode
 from repro.network.planar import gabriel_neighbors, rng_neighbors
 from repro.network.radio import RadioConfig
-from repro.perf.kernels import disk_mask, vectorized_enabled
+from repro.perf.kernels import disk_mask, unit_disk_rows, vectorized_enabled
+from repro.perf.soa import soa_enabled
 
 
 #: Minimum candidate count for a query to take the batched disk test.
@@ -215,10 +225,99 @@ class SpatialGrid:
         return hits
 
 
+class CSRAdjacency:
+    """Compressed-sparse-row adjacency with copy-on-write row overrides.
+
+    ``indices[indptr[i]:indptr[i+1]]`` is row ``i`` — the ascending ids
+    adjacent to node ``i``.  :meth:`row` is an O(1) read-only array slice;
+    :meth:`row_tuple` memoizes the plain-int tuple the public API hands out;
+    :meth:`contains` binary-searches the sorted row.  Mutations (node
+    failures, mobility) replace whole rows via :meth:`set_row` in a sparse
+    override dict, leaving the packed base arrays untouched — churn touches
+    a handful of nodes out of tens of thousands, so repacking would be
+    wasted work.  The unit-disk relation and both planar overlays share
+    this one representation.
+    """
+
+    __slots__ = ("indptr", "indices", "_overrides", "_tuples")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.intp)
+        self.indices = np.asarray(indices, dtype=np.intp)
+        self.indices.setflags(write=False)
+        self._overrides: Dict[int, np.ndarray] = {}
+        self._tuples: List[Optional[Tuple[int, ...]]] = [None] * (
+            len(self.indptr) - 1
+        )
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Sequence[int]]) -> "CSRAdjacency":
+        """Pack per-node ascending id sequences into ``(indptr, indices)``."""
+        indptr = np.zeros(len(rows) + 1, dtype=np.intp)
+        np.cumsum(
+            np.fromiter((len(row) for row in rows), dtype=np.intp, count=len(rows)),
+            out=indptr[1:],
+        )
+        indices = np.empty(int(indptr[-1]), dtype=np.intp)
+        position = 0
+        for row in rows:
+            indices[position : position + len(row)] = row
+            position += len(row)
+        return cls(indptr, indices)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def degree(self, node_id: int) -> int:
+        override = self._overrides.get(node_id)
+        if override is not None:
+            return int(override.shape[0])
+        return int(self.indptr[node_id + 1] - self.indptr[node_id])
+
+    def row(self, node_id: int) -> np.ndarray:
+        """Row ``node_id`` as a read-only ascending id array (O(1) slice)."""
+        override = self._overrides.get(node_id)
+        if override is not None:
+            return override
+        return self.indices[self.indptr[node_id] : self.indptr[node_id + 1]]
+
+    def row_tuple(self, node_id: int) -> Tuple[int, ...]:
+        """Row ``node_id`` as a tuple of plain ints (memoized).
+
+        The tuple form is what the layers above consume: hashable (the
+        beacon service keys its planarization memo on it), holding plain
+        ``int`` (energy-meter dict keys, trace digests), and cheap to
+        iterate per hop.
+        """
+        cached = self._tuples[node_id]
+        if cached is None:
+            cached = tuple(self.row(node_id).tolist())
+            self._tuples[node_id] = cached
+        return cached
+
+    def contains(self, node_id: int, other: int) -> bool:
+        """Binary-search membership test on the sorted row."""
+        row = self.row(node_id)
+        position = int(np.searchsorted(row, other))
+        return position < row.shape[0] and int(row[position]) == other
+
+    def set_row(self, node_id: int, ids: Sequence[int]) -> None:
+        """Replace row ``node_id`` (ascending ids), keeping the base packed."""
+        override = np.array(ids, dtype=np.intp)
+        override.setflags(write=False)
+        self._overrides[node_id] = override
+        self._tuples[node_id] = None
+
+
 class WirelessNetwork:
     """A deployed sensor network: nodes, links, and planar overlays."""
 
-    def __init__(self, points: Sequence[Point], radio: RadioConfig) -> None:
+    def __init__(
+        self,
+        points: Sequence[Point],
+        radio: RadioConfig,
+        initial_energy_j: float = math.inf,
+    ) -> None:
         if not points:
             raise ValueError("a network needs at least one node")
         self.radio = radio
@@ -226,12 +325,29 @@ class WirelessNetwork:
             SensorNode(node_id=i, location=Point(float(p[0]), float(p[1])))
             for i, p in enumerate(points)
         ]
+        count = len(self.nodes)
+        # Struct-of-arrays node state: coordinates, liveness and residual
+        # energy are flat arrays so whole-network passes (adjacency builds,
+        # nearest-node scans, churn bookkeeping) touch no Python objects.
+        # ``nodes`` keeps the object view for the per-node layers above.
         self.locations = np.array([[p[0], p[1]] for p in points], dtype=float)
+        self.alive = np.ones(count, dtype=bool)
+        self.residual_energy_j = np.full(count, float(initial_energy_j), dtype=float)
         self._grid = SpatialGrid([n.location for n in self.nodes], radio.radio_range_m)
-        self._neighbors: List[Tuple[int, ...]] = self._build_neighbor_lists()
+        self._soa = soa_enabled()
+        if self._soa and vectorized_enabled():
+            indptr, indices = unit_disk_rows(
+                self.locations[:, 0], self.locations[:, 1], radio.radio_range_m
+            )
+            self._adjacency = CSRAdjacency(indptr, indices)
+        else:
+            self._adjacency = CSRAdjacency.from_rows(self._build_neighbor_lists())
+        self._neighbor_sets: List[Optional[frozenset]] = [None] * count
         self._gabriel_cache: Dict[int, Tuple[int, ...]] = {}
         self._rng_cache: Dict[int, Tuple[int, ...]] = {}
-        self._neighbor_arrays: List[Optional[np.ndarray]] = [None] * len(self.nodes)
+        self._gabriel_csr: Optional[CSRAdjacency] = None
+        self._rng_csr: Optional[CSRAdjacency] = None
+        self._neighbor_arrays: List[Optional[np.ndarray]] = [None] * count
         self._nx_graph: Optional[nx.Graph] = None
         self._failed: Set[int] = set()
 
@@ -240,6 +356,13 @@ class WirelessNetwork:
     # ------------------------------------------------------------------
 
     def _build_neighbor_lists(self) -> List[Tuple[int, ...]]:
+        """Per-node unit-disk rows via grid range queries (one per node).
+
+        The object-graph construction path, and the scalar reference for
+        the batched :func:`repro.perf.kernels.unit_disk_rows` kernel: both
+        apply the same inclusive ``dx*dx + dy*dy <= r*r`` test, so the CSR
+        rows are identical whichever path built them.
+        """
         neighbor_lists: List[Tuple[int, ...]] = []
         rr = self.radio.radio_range_m
         for node in self.nodes:
@@ -266,7 +389,16 @@ class WirelessNetwork:
 
     def neighbors_of(self, node_id: int) -> Tuple[int, ...]:
         """Ids of all nodes within radio range of ``node_id`` (excluding itself)."""
-        return self._neighbors[node_id]
+        return self._adjacency.row_tuple(node_id)
+
+    def neighbor_ids_array(self, node_id: int) -> np.ndarray:
+        """Neighbor ids as a read-only ascending array (O(1) CSR row slice)."""
+        return self._adjacency.row(node_id)
+
+    @property
+    def adjacency(self) -> CSRAdjacency:
+        """The unit-disk CSR adjacency; row ``i`` == ``neighbors_of(i)``."""
+        return self._adjacency
 
     def nodes_within(self, center: Point, radius: float) -> List[int]:
         """Ids of nodes within ``radius`` of an arbitrary point."""
@@ -279,11 +411,22 @@ class WirelessNetwork:
         range receives the signal and pays receive power — this is the set
         the energy model of Section 5.3 charges.
         """
-        return self._neighbors[sender_id]
+        return self._adjacency.row_tuple(sender_id)
 
     def are_neighbors(self, a: int, b: int) -> bool:
-        """Whether nodes ``a`` and ``b`` share a direct radio link."""
-        return b in self._neighbors[a]
+        """Whether nodes ``a`` and ``b`` share a direct radio link.
+
+        SoA path: binary search of the sorted CSR row (O(log degree)).
+        Legacy path: memoized per-node frozenset — either way the old
+        O(degree) tuple scan is gone from the validation hot loop.
+        """
+        if self._soa:
+            return self._adjacency.contains(a, b)
+        cached = self._neighbor_sets[a]
+        if cached is None:
+            cached = frozenset(self._adjacency.row_tuple(a))
+            self._neighbor_sets[a] = cached
+        return b in cached
 
     def neighbor_location_array(self, node_id: int) -> np.ndarray:
         """Locations of ``node_id``'s neighbors as a read-only ``(m, 2)`` array.
@@ -295,11 +438,7 @@ class WirelessNetwork:
         """
         cached = self._neighbor_arrays[node_id]
         if cached is None:
-            ids = self._neighbors[node_id]
-            if ids:
-                cached = self.locations[list(ids)]
-            else:
-                cached = np.empty((0, 2), dtype=float)
+            cached = self.locations[self._adjacency.row(node_id)]
             cached.setflags(write=False)
             self._neighbor_arrays[node_id] = cached
         return cached
@@ -308,15 +447,42 @@ class WirelessNetwork:
         """Mean neighbor count across nodes — the usual density proxy."""
         if not self.nodes:
             return 0.0
-        return sum(len(n) for n in self._neighbors) / len(self.nodes)
+        adjacency = self._adjacency
+        return sum(adjacency.degree(i) for i in range(len(self.nodes))) / len(
+            self.nodes
+        )
 
     def closest_node_to(self, target: Point) -> int:
         """Id of the node nearest to an arbitrary location (failed excluded)."""
         deltas = self.locations - np.asarray([target[0], target[1]])
         dist_sq = np.einsum("ij,ij->i", deltas, deltas)
-        if self._failed:
-            dist_sq[list(self._failed)] = np.inf
+        dist_sq[~self.alive] = np.inf
         return int(np.argmin(dist_sq))
+
+    # ------------------------------------------------------------------
+    # Residual energy (deployment-lifetime ledger)
+    # ------------------------------------------------------------------
+
+    def residual_energy_of(self, node_id: int) -> float:
+        """Remaining battery charge of ``node_id`` in joules."""
+        return float(self.residual_energy_j[node_id])
+
+    def drain_energy(self, node_id: int, joules: float) -> float:
+        """Subtract ``joules`` from a node's battery; returns the remainder.
+
+        Clamped at zero.  Deciding when a drained node *fails* is
+        deliberately left to the churn layers (via :meth:`fail_node`) so
+        energy accounting stays side-effect-free; per-task metering stays in
+        :class:`repro.network.energy.EnergyMeter`, while this array is the
+        whole-deployment ledger the lifetime experiments read.
+        """
+        if joules < 0.0:
+            raise ValueError(f"cannot drain a negative amount ({joules})")
+        remaining = self.residual_energy_j[node_id] - joules
+        if remaining < 0.0:
+            remaining = 0.0
+        self.residual_energy_j[node_id] = remaining
+        return float(remaining)
 
     # ------------------------------------------------------------------
     # Mutation (node failures and mobility) with cache invalidation
@@ -328,10 +494,14 @@ class WirelessNetwork:
         return frozenset(self._failed)
 
     def _invalidate_node(self, node_id: int) -> None:
-        """Drop every per-node derived structure for ``node_id``."""
+        """Drop every derived structure touching ``node_id``."""
         self._gabriel_cache.pop(node_id, None)
         self._rng_cache.pop(node_id, None)
         self._neighbor_arrays[node_id] = None
+        self._neighbor_sets[node_id] = None
+        # Whole-graph planar overlays are rebuilt lazily after any mutation.
+        self._gabriel_csr = None
+        self._rng_csr = None
 
     def fail_node(self, node_id: int) -> None:
         """Kill node ``node_id``: it vanishes from every topology query.
@@ -345,13 +515,15 @@ class WirelessNetwork:
         """
         if node_id in self._failed:
             raise ValueError(f"node {node_id} has already failed")
-        former = self._neighbors[node_id]
+        former = self._adjacency.row_tuple(node_id)
         self._failed.add(node_id)
+        self.alive[node_id] = False
         self._grid.remove_point(node_id)
         for n in former:
-            self._neighbors[n] = tuple(i for i in self._neighbors[n] if i != node_id)
+            row = self._adjacency.row(n)
+            self._adjacency.set_row(n, row[row != node_id])
             self._invalidate_node(n)
-        self._neighbors[node_id] = ()
+        self._adjacency.set_row(node_id, ())
         self._invalidate_node(node_id)
         self._nx_graph = None
 
@@ -367,26 +539,24 @@ class WirelessNetwork:
         if node_id in self._failed:
             raise ValueError(f"cannot move failed node {node_id}")
         new_location = Point(float(new_location[0]), float(new_location[1]))
-        old_neighbors = self._neighbors[node_id]
+        old_neighbors = self._adjacency.row_tuple(node_id)
         self.nodes[node_id] = SensorNode(node_id=node_id, location=new_location)
         self.locations[node_id] = (new_location[0], new_location[1])
         self._grid.move_point(node_id, new_location)
         rr = self.radio.radio_range_m
-        self._neighbors[node_id] = tuple(
-            sorted(
-                i
-                for i in self._grid.indices_within(new_location, rr)
-                if i != node_id
-            )
+        new_row = sorted(
+            i for i in self._grid.indices_within(new_location, rr) if i != node_id
         )
-        affected = set(old_neighbors) | set(self._neighbors[node_id])
+        self._adjacency.set_row(node_id, new_row)
+        affected = set(old_neighbors) | set(new_row)
         for n in affected:
-            self._neighbors[n] = tuple(
+            self._adjacency.set_row(
+                n,
                 sorted(
                     i
                     for i in self._grid.indices_within(self.nodes[n].location, rr)
                     if i != n
-                )
+                ),
             )
             self._invalidate_node(n)
         self._invalidate_node(node_id)
@@ -405,7 +575,7 @@ class WirelessNetwork:
         if node_id not in self._gabriel_cache:
             self._gabriel_cache[node_id] = gabriel_neighbors(
                 node_id,
-                self._neighbors[node_id],
+                self._adjacency.row_tuple(node_id),
                 lambda i: self.nodes[i].location,
             )
         return self._gabriel_cache[node_id]
@@ -415,10 +585,32 @@ class WirelessNetwork:
         if node_id not in self._rng_cache:
             self._rng_cache[node_id] = rng_neighbors(
                 node_id,
-                self._neighbors[node_id],
+                self._adjacency.row_tuple(node_id),
                 lambda i: self.nodes[i].location,
             )
         return self._rng_cache[node_id]
+
+    def gabriel_adjacency(self) -> CSRAdjacency:
+        """Whole-network Gabriel overlay as a CSR adjacency (lazily built).
+
+        Shares the representation of the unit-disk adjacency: row ``i``
+        equals :meth:`gabriel_neighbors_of`, computed through the batched
+        keep-mask kernels when vectorization is on.  Invalidated as a whole
+        by any topology mutation.
+        """
+        if self._gabriel_csr is None:
+            self._gabriel_csr = CSRAdjacency.from_rows(
+                [self.gabriel_neighbors_of(i) for i in range(len(self.nodes))]
+            )
+        return self._gabriel_csr
+
+    def rng_adjacency(self) -> CSRAdjacency:
+        """Whole-network RNG overlay as a CSR adjacency (lazily built)."""
+        if self._rng_csr is None:
+            self._rng_csr = CSRAdjacency.from_rows(
+                [self.rng_neighbors_of(i) for i in range(len(self.nodes))]
+            )
+        return self._rng_csr
 
     # ------------------------------------------------------------------
     # Global views (for SMT and diagnostics only)
@@ -433,7 +625,7 @@ class WirelessNetwork:
                     continue
                 graph.add_node(node.node_id, location=node.location)
             for node in self.nodes:
-                for other in self._neighbors[node.node_id]:
+                for other in self._adjacency.row_tuple(node.node_id):
                     if other > node.node_id:
                         graph.add_edge(
                             node.node_id,

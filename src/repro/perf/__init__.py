@@ -49,10 +49,12 @@ from repro.perf.kernels import (
     reduction_ratio_batch,
     rng_keep_mask,
     set_vectorized_enabled,
+    unit_disk_rows,
     vectorized_disabled,
     vectorized_enabled,
 )
 from repro.perf.parallel import run_units
+from repro.perf.soa import set_soa_enabled, soa_disabled, soa_enabled
 
 __all__ = [
     "TreeCache",
@@ -83,6 +85,10 @@ __all__ = [
     "reduction_ratio_batch",
     "rng_keep_mask",
     "set_vectorized_enabled",
+    "unit_disk_rows",
     "vectorized_disabled",
     "vectorized_enabled",
+    "set_soa_enabled",
+    "soa_disabled",
+    "soa_enabled",
 ]

@@ -11,6 +11,7 @@ kernel                    scalar reference
 ``fermat_point_batch``    :func:`repro.geometry.fermat.fermat_point`
 ``reduction_ratio_batch`` :func:`repro.steiner.reduction_ratio.reduction_ratio_point`
 ``disk_mask``             the per-point test in ``SpatialGrid.indices_within``
+``unit_disk_rows``        ``WirelessNetwork._build_neighbor_lists`` (whole graph)
 ``gabriel_keep_mask``     :func:`repro.network.planar.gabriel_neighbors`
 ``rng_keep_mask``         :func:`repro.network.planar.rng_neighbors`
 ``nearest_index`` etc.    the next-hop argmin scans in :mod:`repro.routing.greedy`
@@ -46,7 +47,7 @@ from __future__ import annotations
 
 import math
 from contextlib import contextmanager
-from typing import Dict, Iterator, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -66,6 +67,7 @@ SCALAR_REFERENCES: Dict[str, str] = {
     "reduction_ratio_batch": "repro.steiner.reduction_ratio.reduction_ratio_point",
     "pair_indices": "repro.steiner.rrstr.rrstr",
     "disk_mask": "repro.network.graph.SpatialGrid.indices_within",
+    "unit_disk_rows": "repro.network.graph.WirelessNetwork._build_neighbor_lists",
     "gabriel_keep_mask": "repro.network.planar.gabriel_neighbors",
     "rng_keep_mask": "repro.network.planar.rng_neighbors",
     "distances_to": "repro.geometry.point.distance",
@@ -311,6 +313,66 @@ def disk_mask(
     dx = xs - px
     dy = ys - py
     return dx * dx + dy * dy <= radius_sq
+
+
+def unit_disk_rows(
+    xs: np.ndarray, ys: np.ndarray, radius: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """CSR adjacency ``(indptr, indices)`` of the unit-disk graph in one call.
+
+    Row ``i`` (``indices[indptr[i]:indptr[i+1]]``) lists, ascending, every
+    ``j != i`` with ``dx*dx + dy*dy <= radius*radius`` — the same inclusive
+    disk test, on the same raw coordinate differences, as the per-node
+    ``SpatialGrid`` range queries in
+    ``WirelessNetwork._build_neighbor_lists``, so both construction paths
+    yield identical rows.
+
+    The batch construction bins points into a ``radius``-sized grid (one
+    stable argsort), then tests each occupied cell's members against the
+    concatenated 3x3 candidate neighborhood with a single broadcast mask —
+    no per-node Python loop over candidates.
+    """
+    n = xs.shape[0]
+    indptr = np.zeros(n + 1, dtype=np.intp)
+    if n == 0:
+        return indptr, np.empty(0, dtype=np.intp)
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    _record("adjacency", n)
+    radius_sq = radius * radius
+    cell_x = np.floor(xs / radius).astype(np.int64)
+    cell_y = np.floor(ys / radius).astype(np.int64)
+    # Pack (cx, cy) into one integer key with a one-cell pad on each side so
+    # the +/-1 neighbor offsets of edge cells never alias another row.
+    span_y = int(cell_y.max() - cell_y.min()) + 3
+    key = (cell_x - cell_x.min() + 1) * span_y + (cell_y - cell_y.min() + 1)
+    order = np.argsort(key, kind="stable")  # ties keep ascending node id
+    sorted_keys = key[order]
+    breaks = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+    starts = np.concatenate((np.zeros(1, dtype=np.intp), breaks))
+    ends = np.concatenate((breaks, np.asarray([n], dtype=np.intp)))
+    cells = {
+        int(sorted_keys[s]): order[s:e]
+        for s, e in zip(starts.tolist(), ends.tolist())
+    }
+    offsets = (
+        -span_y - 1, -span_y, -span_y + 1, -1, 0, 1, span_y - 1, span_y, span_y + 1
+    )
+    rows: List[Optional[np.ndarray]] = [None] * n
+    for cell_key, members in cells.items():
+        parts = [
+            cells[cell_key + off] for off in offsets if cell_key + off in cells
+        ]
+        candidates = np.sort(np.concatenate(parts) if len(parts) > 1 else parts[0])
+        dx = xs[candidates][None, :] - xs[members][:, None]
+        dy = ys[candidates][None, :] - ys[members][:, None]
+        keep = dx * dx + dy * dy <= radius_sq
+        keep &= candidates[None, :] != members[:, None]
+        for row, node in enumerate(members.tolist()):
+            rows[node] = candidates[keep[row]]
+    lengths = np.fromiter((row.shape[0] for row in rows), dtype=np.intp, count=n)  # type: ignore[union-attr]
+    np.cumsum(lengths, out=indptr[1:])
+    return indptr, np.concatenate(rows)  # type: ignore[arg-type]
 
 
 # ----------------------------------------------------------------------

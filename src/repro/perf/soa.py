@@ -1,0 +1,49 @@
+"""A/B switch for the struct-of-arrays engine core.
+
+``set_soa_enabled(False)`` (or the :func:`soa_disabled` context manager)
+routes the simulation back onto the object-graph data structures:
+
+* :class:`repro.network.graph.WirelessNetwork` builds its CSR neighbor
+  adjacency from per-node :class:`~repro.network.graph.SpatialGrid` range
+  queries instead of the batched :func:`repro.perf.kernels.unit_disk_rows`
+  kernel, and ``are_neighbors`` falls back to per-node membership sets
+  instead of a ``searchsorted`` probe of the CSR row.
+* :class:`repro.simkit.simulator.Simulator` instantiates the binary-heap
+  :class:`~repro.simkit.scheduler.EventScheduler` reference instead of the
+  calendar-queue :class:`~repro.simkit.scheduler.CalendarScheduler`.
+
+Either way the *results* are identical — the digest-equality tests run every
+experiment path with the switch on and off and assert equal trace / delivery
+digests, mirroring ``set_vectorized_enabled`` and ``set_caching_enabled``.
+The switch lives in its own module (not :mod:`repro.perf.kernels`) because it
+gates *data-structure backends*, not geometry kernels, and so has no entry in
+``SCALAR_REFERENCES``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+_ENABLED = True
+
+
+def set_soa_enabled(enabled: bool) -> None:
+    """Globally enable/disable the SoA backends (results are unaffected)."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+def soa_enabled() -> bool:
+    return _ENABLED
+
+
+@contextmanager
+def soa_disabled() -> Iterator[None]:
+    """Run a block on the object-graph backends (A/B digest testing)."""
+    previous = _ENABLED
+    set_soa_enabled(False)
+    try:
+        yield
+    finally:
+        set_soa_enabled(previous)

@@ -1,0 +1,82 @@
+"""SoA A/B bit-identity: digests equal with the array core on and off.
+
+``set_soa_enabled`` swaps the network's CSR construction path, the
+``are_neighbors`` implementation, and the simulator's scheduler backend.
+None of that may change a single traced frame: the trace and delivery
+digests of the default engine AND of the contended MAC engine must be
+equal on both sides of the switch — the same contract the vectorization
+and caching switches already honor.
+"""
+
+import numpy as np
+
+from repro.engine import (
+    EngineConfig,
+    batch_digest,
+    delivery_digest,
+    run_contended_tasks,
+    run_task,
+)
+from repro.network import RadioConfig, build_network
+from repro.network.topology import uniform_random_topology
+from repro.perf.soa import soa_disabled, soa_enabled
+from repro.routing import GMPProtocol
+
+TRACING = EngineConfig(collect_traces=True)
+
+
+def _tasks(count: int, nodes: int, seed: int):
+    rng = np.random.default_rng(seed)
+    tasks = []
+    for _ in range(count):
+        picks = rng.choice(nodes, size=8, replace=False)
+        tasks.append((int(picks[0]), [int(p) for p in picks[1:]]))
+    return tasks
+
+
+def _build(seed: int = 19, nodes: int = 300):
+    rng = np.random.default_rng(seed)
+    points = uniform_random_topology(nodes, 1000.0, 1000.0, rng)
+    return build_network(points, RadioConfig())
+
+
+def test_default_engine_digest_equal_soa_on_off():
+    assert soa_enabled()
+    tasks = _tasks(8, 300, 31)
+
+    def run_all():
+        network = _build()
+        protocol = GMPProtocol()
+        return [
+            run_task(network, protocol, source, dests, config=TRACING, task_id=i)
+            for i, (source, dests) in enumerate(tasks)
+        ]
+
+    soa_results = run_all()
+    with soa_disabled():
+        legacy_results = run_all()
+    assert batch_digest(soa_results) == batch_digest(legacy_results)
+    for a, b in zip(soa_results, legacy_results):
+        assert delivery_digest(a) == delivery_digest(b)
+        assert a.transmissions == b.transmissions
+
+
+def test_contended_engine_digest_equal_soa_on_off():
+    """The dense-event-stream regime the calendar queue was built for."""
+    sessions = [
+        (task_id, source, dests)
+        for task_id, (source, dests) in enumerate(_tasks(4, 300, 77))
+    ]
+
+    def run_all():
+        network = _build()
+        return run_contended_tasks(
+            network, sessions, GMPProtocol, collect_trace=True
+        )
+
+    soa_results = run_all()
+    with soa_disabled():
+        legacy_results = run_all()
+    assert batch_digest(soa_results) == batch_digest(legacy_results)
+    for a, b in zip(soa_results, legacy_results):
+        assert delivery_digest(a) == delivery_digest(b)

@@ -7,9 +7,11 @@ import pytest
 
 from repro.experiments.config import PaperConfig
 from repro.experiments.scale import (
+    SCALE_DEEP,
     SCALE_PAPER,
     SCALE_QUICK,
     SCALE_SMOKE,
+    SCALE_SMOKE50K,
     ScaleSweepScale,
     render_scale_table,
     run_scale_sweep,
@@ -17,6 +19,7 @@ from repro.experiments.scale import (
     scaled_config,
 )
 from repro.perf.kernels import vectorized_disabled
+from repro.perf.soa import soa_disabled
 
 #: Small enough for tier-1 wall clock, large enough to shard across workers.
 _TINY = ScaleSweepScale(
@@ -43,16 +46,37 @@ class TestScaledConfig:
         assert cfg.field_width_m == pytest.approx(1000.0)
 
     def test_ttl_scales_with_diagonal(self):
-        cfg = scaled_config(PaperConfig(), 10000)
-        diagonal_hops = math.hypot(cfg.field_width_m, cfg.field_height_m) / 150.0
-        assert cfg.max_path_length >= diagonal_hops
+        for n in (10_000, 50_000, 100_000):
+            cfg = scaled_config(PaperConfig(), n)
+            diagonal_hops = math.hypot(cfg.field_width_m, cfg.field_height_m) / 150.0
+            assert cfg.max_path_length >= diagonal_hops
+
+    def test_ttl_unchanged_at_or_below_10k(self):
+        """Digest back-compat: the historical fixed TTL up to 10k nodes."""
+        for n in (2_000, 5_000, 10_000):
+            assert scaled_config(PaperConfig(), n).max_path_length == 250
+
+    def test_ttl_grows_for_100k_diagonal(self):
+        cfg = scaled_config(PaperConfig(), 100_000)
+        assert cfg.max_path_length > 250
+        assert cfg.field_width_m == pytest.approx(10_000.0)
 
     def test_scale_lookup(self):
         assert scale_sweep_scale_by_name("smoke") is SCALE_SMOKE
         assert scale_sweep_scale_by_name("quick") is SCALE_QUICK
         assert scale_sweep_scale_by_name("paper") is SCALE_PAPER
+        assert scale_sweep_scale_by_name("smoke50k") is SCALE_SMOKE50K
+        assert scale_sweep_scale_by_name("deep") is SCALE_DEEP
         with pytest.raises(ValueError):
             scale_sweep_scale_by_name("galactic")
+
+    def test_large_presets_stay_ci_sized(self):
+        """The 50k smoke preset must fit the perf-smoke budget: a handful
+        of units, one network, constant Table-1 density."""
+        assert SCALE_SMOKE50K.node_counts == (50_000,)
+        assert SCALE_SMOKE50K.network_count == 1
+        assert SCALE_SMOKE50K.tasks_per_cell <= 2
+        assert SCALE_DEEP.node_counts == (50_000, 100_000)
 
 
 class TestScaleSweep:
@@ -83,6 +107,18 @@ class TestScaleSweep:
         with vectorized_disabled():
             scalar = run_scale_sweep(PaperConfig(), _TINY, include_grd=False)
         assert scalar.digest() == sweep.digest()
+
+    def test_soa_off_bit_identical(self, sweep):
+        """Object-graph network + binary-heap scheduler: same digest."""
+        with soa_disabled():
+            legacy = run_scale_sweep(PaperConfig(), _TINY, include_grd=False)
+        assert legacy.digest() == sweep.digest()
+
+    def test_soa_and_vectorized_off_bit_identical(self, sweep):
+        """Fully scalar object-graph path — the seed implementation."""
+        with soa_disabled(), vectorized_disabled():
+            legacy = run_scale_sweep(PaperConfig(), _TINY, include_grd=False)
+        assert legacy.digest() == sweep.digest()
 
     def test_digest_sensitive_to_results(self, sweep):
         other_scale = dataclasses.replace(_TINY, tasks_per_cell=1)
