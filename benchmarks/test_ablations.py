@@ -11,7 +11,7 @@ import numpy as np
 
 from repro.engine import EngineConfig, run_task
 from repro.experiments.sweep import make_network
-from repro.experiments.workload import generate_tasks
+from repro.sessions.workload import generate_tasks
 from repro.geometry import Point
 from repro.routing.gmp import GMPProtocol
 from repro.simkit.rng import RandomStreams

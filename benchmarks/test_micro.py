@@ -346,6 +346,71 @@ def test_bench_scheduler_heap(benchmark):
     )
 
 
+# ----------------------------------------------------------------------
+# Streaming session engine: throughput-direction bench + sketch overhead
+# ----------------------------------------------------------------------
+
+
+def test_bench_session_stream_throughput(benchmark):
+    """Steady-state sessions/sec of the streaming runner at 2k nodes.
+
+    The repo's first *throughput-direction* benchmark: the compared figure
+    is ``extra_info["value"]`` (sessions/sec, higher is better), declared
+    via ``extra_info["direction"] = "maximize"`` so
+    ``scripts/bench_compare.py`` gates on *downward* drift.
+    """
+    from repro.experiments.sessions import cell_workload
+    from repro.sessions import run_session_stream
+
+    total = 16
+    base = PaperConfig()
+    config = scaled_config(base, 2000)
+    workload = cell_workload(base, 2000, "poisson")
+    engine = EngineConfig(max_path_length=config.max_path_length)
+    cached_network(config, 0)  # warm the deployment memo outside the timer
+
+    def stream():
+        report = run_session_stream(
+            workload, ("GMP",), config, total_sessions=total, engine=engine
+        )
+        assert report.completed == total
+        return report.chain_digest
+
+    benchmark.pedantic(stream, rounds=3, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["direction"] = "maximize"
+    benchmark.extra_info["value"] = total / benchmark.stats.stats.median
+
+
+def test_bench_session_sketch_fold(benchmark):
+    """Folding 10k observations into the bounded-memory stream sketches.
+
+    The per-session aggregation overhead the streaming runner pays instead
+    of accumulating TaskResults — must stay far below the cost of running
+    a session.
+    """
+    from repro.sessions import StreamStats
+
+    rng = np.random.default_rng(59)
+    latencies = rng.exponential(0.01, 10_000)
+    energies = rng.exponential(0.2, 10_000)
+    costs = rng.integers(5, 200, 10_000)
+
+    def fold():
+        stats = StreamStats(epsilon=0.01)
+        for latency, energy, cost in zip(latencies, energies, costs):
+            stats.observe(
+                latency_s=float(latency),
+                delivery_ratio=1.0,
+                energy_joules=float(energy),
+                tree_cost=float(cost),
+                delivered=5,
+                requested=5,
+            )
+        return stats.sessions
+
+    benchmark.pedantic(fold, rounds=3, iterations=1, warmup_rounds=1)
+
+
 def test_bench_beacon_round(benchmark, micro_network):
     """One full HELLO period over 400 contending nodes."""
     link_config = LinkLayerConfig(warm_start=False)

@@ -26,7 +26,7 @@ from repro import (
     uniform_random_topology,
 )
 from repro.engine import EngineConfig, run_task
-from repro.experiments.workload import generate_tasks
+from repro.sessions.workload import generate_tasks
 
 
 def main() -> None:

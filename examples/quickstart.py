@@ -43,7 +43,7 @@ def main() -> None:
 
     # 4. Averaged comparison against the MST-based LGS baseline (single
     #    tasks are noisy; 20 random tasks show the systematic difference).
-    from repro.experiments.workload import generate_tasks
+    from repro.sessions.workload import generate_tasks
 
     tasks = generate_tasks(network, 20, 8, np.random.default_rng(7))
     means = {}

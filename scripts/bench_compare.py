@@ -16,6 +16,14 @@ benchmarks that have no baseline entry yet).  Default tolerance is
 +/-30% (``--max-ratio 1.3``); CI's perf-smoke job runs with ``--max-ratio
 2.0`` because hosted runners vary in absolute speed.
 
+A benchmark can declare itself *higher-is-better* by setting
+``benchmark.extra_info["direction"] = "maximize"`` (and optionally
+``extra_info["value"]`` — e.g. sessions/sec — which then replaces the median
+as the compared figure).  Maximize-direction benchmarks gate on *downward*
+regressions instead: they fail when ``fresh < baseline / max_ratio``.  The
+two sides of a comparison must agree on the direction; a mismatch fails
+(it means the benchmark's semantics changed without a baseline refresh).
+
 Regenerate the baseline (after intentional perf changes) with::
 
     PYTHONPATH=src python -m pytest benchmarks/test_micro.py \
@@ -27,48 +35,99 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict
+from typing import Dict, NamedTuple
+
+
+class BenchEntry(NamedTuple):
+    """One benchmark's compared figure and its improvement direction."""
+
+    value: float
+    direction: str  # "minimize" (runtime) or "maximize" (throughput)
+
+
+def load_entries(path: str) -> Dict[str, BenchEntry]:
+    """``{benchmark fullname: entry}`` from a pytest-benchmark JSON export.
+
+    The compared value is the median runtime unless the benchmark published
+    an explicit ``extra_info["value"]`` (throughput benches do, so the gate
+    tracks sessions/sec rather than the meaningless wrapper runtime).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    entries = {}
+    for bench in payload["benchmarks"]:
+        extra = bench.get("extra_info") or {}
+        direction = str(extra.get("direction", "minimize"))
+        if direction not in ("minimize", "maximize"):
+            raise ValueError(
+                f"benchmark {bench['fullname']!r} has unknown direction "
+                f"{direction!r} (expected 'minimize' or 'maximize')"
+            )
+        value = float(extra.get("value", bench["stats"]["median"]))
+        entries[bench["fullname"]] = BenchEntry(value=value, direction=direction)
+    return entries
 
 
 def load_medians(path: str) -> Dict[str, float]:
-    """``{benchmark fullname: median seconds}`` from a pytest-benchmark JSON."""
-    with open(path, "r", encoding="utf-8") as handle:
-        payload = json.load(handle)
-    medians = {}
-    for bench in payload["benchmarks"]:
-        medians[bench["fullname"]] = float(bench["stats"]["median"])
-    return medians
+    """``{benchmark fullname: compared value}`` — legacy flat view."""
+    return {name: entry.value for name, entry in load_entries(path).items()}
+
+
+def entry_fails(base: BenchEntry, fresh: BenchEntry, max_ratio: float) -> bool:
+    """Whether ``fresh`` regressed past ``max_ratio`` relative to ``base``.
+
+    Runtime (minimize) benches fail on upward drift, throughput (maximize)
+    benches on downward drift — the same tolerance band, mirrored.
+    """
+    if base.direction != fresh.direction:
+        return True
+    if base.value <= 0.0:
+        return fresh.direction == "maximize" and fresh.value < base.value
+    ratio = fresh.value / base.value
+    if fresh.direction == "maximize":
+        return ratio < 1.0 / max_ratio
+    return ratio > max_ratio
 
 
 def compare(
-    baseline: Dict[str, float],
-    fresh: Dict[str, float],
+    baseline: Dict[str, BenchEntry],
+    fresh: Dict[str, BenchEntry],
     max_ratio: float,
     allow_new: bool = False,
 ) -> int:
     """Print a comparison table; return the number of failures.
 
-    Benchmarks present in both files are compared by median ratio.  The
-    symmetric difference is reported explicitly: *removed* benchmarks (in the
-    baseline but not the fresh run) always fail, so renames and deletions
-    must update the baseline deliberately; *added* benchmarks (fresh but not
-    in the baseline) fail too unless ``allow_new`` is set — the escape hatch
-    for landing new benchmarks before their baseline entry exists.
+    Benchmarks present in both files are compared by value ratio with the
+    per-bench direction (see :func:`entry_fails`).  The symmetric difference
+    is reported explicitly: *removed* benchmarks (in the baseline but not the
+    fresh run) always fail, so renames and deletions must update the baseline
+    deliberately; *added* benchmarks (fresh but not in the baseline) fail too
+    unless ``allow_new`` is set — the escape hatch for landing new benchmarks
+    before their baseline entry exists.
     """
     failures = 0
     names = set(baseline) | set(fresh)
     width = max((len(name) for name in names), default=10)
-    print(f"{'benchmark'.ljust(width)}  {'base':>10}  {'fresh':>10}  {'ratio':>6}")
+    print(
+        f"{'benchmark'.ljust(width)}  {'dir':>3}  {'base':>10}  {'fresh':>10}"
+        f"  {'ratio':>6}"
+    )
     for name in sorted(set(baseline) & set(fresh)):
-        base_median = baseline[name]
-        fresh_median = fresh[name]
-        ratio = fresh_median / base_median if base_median > 0 else float("inf")
-        verdict = "" if ratio <= max_ratio else "  REGRESSION"
+        base = baseline[name]
+        new = fresh[name]
+        ratio = new.value / base.value if base.value > 0 else float("inf")
+        if base.direction != new.direction:
+            verdict = "  DIRECTION CHANGED"
+        elif entry_fails(base, new, max_ratio):
+            verdict = "  REGRESSION"
+        else:
+            verdict = ""
         if verdict:
             failures += 1
+        arrow = "max" if new.direction == "maximize" else "min"
         print(
-            f"{name.ljust(width)}  {base_median:10.2e}  {fresh_median:10.2e}"
-            f"  {ratio:5.2f}x{verdict}"
+            f"{name.ljust(width)}  {arrow:>3}  {base.value:10.2e}"
+            f"  {new.value:10.2e}  {ratio:5.2f}x{verdict}"
         )
     removed = sorted(set(baseline) - set(fresh))
     added = sorted(set(fresh) - set(baseline))
@@ -76,14 +135,17 @@ def compare(
         print(f"\nremoved from fresh run ({len(removed)}) — regenerate the baseline:")
         for name in removed:
             failures += 1
-            print(f"  {name.ljust(width)}  {baseline[name]:10.2e}  {'MISSING':>10}")
+            print(
+                f"  {name.ljust(width)}  {baseline[name].value:10.2e}"
+                f"  {'MISSING':>10}"
+            )
     if added:
         status = "allowed" if allow_new else "NOT in baseline"
         print(f"\nadded since baseline ({len(added)}, {status}):")
         for name in added:
             if not allow_new:
                 failures += 1
-            print(f"  {name.ljust(width)}  {'(new)':>10}  {fresh[name]:10.2e}")
+            print(f"  {name.ljust(width)}  {'(new)':>10}  {fresh[name].value:10.2e}")
     return failures
 
 
@@ -101,7 +163,7 @@ def main(argv=None) -> int:
         "--max-ratio",
         type=float,
         default=1.3,
-        help="maximum allowed fresh/baseline median ratio (default: 1.3)",
+        help="maximum allowed fresh/baseline regression ratio (default: 1.3)",
     )
     parser.add_argument(
         "--allow-new",
@@ -109,8 +171,8 @@ def main(argv=None) -> int:
         help="report benchmarks missing from the baseline instead of failing",
     )
     args = parser.parse_args(argv)
-    baseline = load_medians(args.baseline)
-    fresh = load_medians(args.fresh)
+    baseline = load_entries(args.baseline)
+    fresh = load_entries(args.fresh)
     failures = compare(baseline, fresh, args.max_ratio, allow_new=args.allow_new)
     if failures:
         print(

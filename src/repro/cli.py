@@ -97,6 +97,29 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    sessions = subparsers.add_parser(
+        "sessions",
+        parents=[experiment_options],
+        help=(
+            "streaming-session throughput sweep (presets: smoke/quick/paper; "
+            "arrival-process workloads folded into bounded-memory sketches)"
+        ),
+    )
+    sessions.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="checkpoint each cell here and resume from it on rerun",
+    )
+    sessions.add_argument(
+        "--stop-after",
+        type=int,
+        default=0,
+        help=(
+            "halt after this many sessions complete this run (deterministic "
+            "interruption for resume testing; use with --checkpoint-dir)"
+        ),
+    )
+
     lint = subparsers.add_parser(
         "lint",
         help="run the reprolint determinism & protocol-contract analyzer",
@@ -348,6 +371,55 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.json_path,
                 {"scale-sweep": sweep.to_json_dict()},
                 sweep_scale.name,
+                config.master_seed,
+                progress,
+            )
+        if args.perf:
+            print(GLOBAL_COUNTERS.render(), file=sys.stderr)
+        return 0
+
+    if args.command == "sessions":
+        import dataclasses
+
+        from repro.experiments.sessions import (
+            render_sessions_table,
+            run_sessions_sweep,
+            session_scale_by_name,
+        )
+
+        sessions_scale = session_scale_by_name(args.scale)
+        if args.nodes is not None:
+            sessions_scale = dataclasses.replace(
+                sessions_scale, node_counts=(args.nodes,)
+            )
+        progress(
+            f"running streaming-session sweep at preset {sessions_scale.name!r} ..."
+        )
+        with StageTimer("sessions-sweep", clock=time.perf_counter):
+            sessions_sweep = run_sessions_sweep(
+                config,
+                sessions_scale,
+                workers=args.workers,
+                progress=progress,
+                checkpoint_dir=args.checkpoint_dir,
+                stop_after=args.stop_after,
+            )
+        # Deterministic results on stdout (CI byte-diffs them); wall-clock
+        # throughput and memory telemetry on stderr only.
+        print(render_sessions_table(sessions_sweep))
+        print(f"digest: {sessions_sweep.digest()}")
+        elapsed = GLOBAL_COUNTERS.stage_seconds("sessions-sweep")
+        if elapsed > 0.0 and sessions_sweep.completed_sessions:
+            progress(
+                f"throughput: {sessions_sweep.completed_sessions / elapsed:.2f} "
+                f"sessions/s over {elapsed:.1f}s"
+            )
+        _report_peak_rss(progress)
+        if args.json_path:
+            _write_json(
+                args.json_path,
+                {"sessions-sweep": sessions_sweep.to_json_dict()},
+                sessions_scale.name,
                 config.master_seed,
                 progress,
             )

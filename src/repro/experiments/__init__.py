@@ -14,7 +14,7 @@ from repro.experiments.config import (
     PaperConfig,
     scale_by_name,
 )
-from repro.experiments.workload import MulticastTask, generate_tasks
+from repro.sessions.workload import MulticastTask, generate_tasks
 from repro.experiments.sweep import (
     best_lambda_results,
     make_network,

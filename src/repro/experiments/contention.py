@@ -22,16 +22,17 @@ from the master seed inside the executing process.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.engine import EngineConfig, TaskResult, run_contended_tasks, summarize_results
 from repro.experiments.config import PaperConfig
 from repro.experiments.figures import FigureResult
 from repro.experiments.sweep import ProtocolSpec, build_protocol, cached_network
-from repro.experiments.workload import generate_tasks
 from repro.linklayer import LinkLayerConfig
-from repro.perf.counters import GLOBAL_COUNTERS
+from repro.perf.counters import GLOBAL_COUNTERS, merge_worker_perf
 from repro.perf.parallel import run_units
+from repro.sessions.arrivals import exponential_starts
+from repro.sessions.workload import generate_tasks
 from repro.routing.base import RoutingProtocol
 from repro.routing.flooding import FloodingProtocol
 from repro.simkit.rng import RandomStreams
@@ -153,12 +154,8 @@ def _session_specs_and_starts(
     arrival_rng = streams.stream(
         "contention-arrivals", net_index, session_count, interarrival_s
     )
-    starts: List[float] = []
-    clock = 0.0
-    for _ in tasks:
-        starts.append(clock)
-        clock += float(arrival_rng.exponential(interarrival_s))
-    return [(t.task_id, t.source_id, t.destination_ids) for t in tasks], starts
+    starts = exponential_starts(arrival_rng, len(tasks), interarrival_s)
+    return [t.as_session_tuple() for t in tasks], starts
 
 
 def run_contention_unit(
@@ -190,12 +187,6 @@ def run_contention_unit(
         start_times=starts,
     )
     return results, GLOBAL_COUNTERS.delta_since(before)
-
-
-def _merge_worker_perf(outputs: Sequence[UnitOutput], used_pool: bool) -> None:
-    if used_pool:
-        for _, delta in outputs:
-            GLOBAL_COUNTERS.merge_delta(delta)
 
 
 def _contended_engine(
@@ -262,7 +253,10 @@ def contention_sweep(
         workers=workers,
         progress=None if progress is None else cell_progress,
     )
-    _merge_worker_perf(outputs, used_pool=workers > 1 and len(units) > 1)
+    merge_worker_perf(
+        (delta for _, delta in outputs),
+        used_pool=workers > 1 and len(units) > 1,
+    )
 
     def series_label(spec: ProtocolSpec, interarrival: float) -> str:
         base = str(spec[0])
@@ -384,7 +378,10 @@ def arq_ablation(
         workers=workers,
         progress=None if progress is None else cell_progress,
     )
-    _merge_worker_perf(outputs, used_pool=workers > 1 and len(units) > 1)
+    merge_worker_perf(
+        (delta for _, delta in outputs),
+        used_pool=workers > 1 and len(units) > 1,
+    )
 
     series: Dict[str, List[Tuple[float, float]]] = {name: [] for name, _ in arms}
     index = 0

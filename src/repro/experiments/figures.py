@@ -25,8 +25,8 @@ from repro.experiments.sweep import (
     run_tasks,
     select_best_lambda,
 )
-from repro.experiments.workload import MulticastTask, generate_tasks
-from repro.perf.counters import GLOBAL_COUNTERS
+from repro.sessions.workload import MulticastTask, generate_tasks
+from repro.perf.counters import GLOBAL_COUNTERS, merge_worker_perf
 from repro.perf.parallel import run_units
 from repro.simkit.rng import RandomStreams
 
@@ -167,17 +167,6 @@ def run_sweep_unit(
     return batch, GLOBAL_COUNTERS.delta_since(before)
 
 
-def _merge_worker_perf(outputs: Sequence[UnitOutput], used_pool: bool) -> None:
-    """Fold worker-side perf-counter deltas into the parent's counters.
-
-    Only when a pool actually executed the units — inline execution already
-    accumulated into this process's ``GLOBAL_COUNTERS`` directly.
-    """
-    if used_pool:
-        for _, delta in outputs:
-            GLOBAL_COUNTERS.merge_delta(delta)
-
-
 def run_group_size_sweep(
     config: PaperConfig | None = None,
     scale: ExperimentScale | None = None,
@@ -237,7 +226,10 @@ def run_group_size_sweep(
         workers=workers,
         progress=None if progress is None else cell_progress,
     )
-    _merge_worker_perf(outputs, used_pool=workers > 1 and len(units) > 1)
+    merge_worker_perf(
+        (delta for _, delta in outputs),
+        used_pool=workers > 1 and len(units) > 1,
+    )
 
     index = 0
     for _, k in cells:
@@ -380,7 +372,10 @@ def figure15(
         workers=workers,
         progress=None if progress is None else cell_progress,
     )
-    _merge_worker_perf(outputs, used_pool=workers > 1 and len(units) > 1)
+    merge_worker_perf(
+        (delta for _, delta in outputs),
+        used_pool=workers > 1 and len(units) > 1,
+    )
 
     failures: Dict[str, List[Tuple[float, float]]] = {
         str(spec[0]): [] for spec in specs

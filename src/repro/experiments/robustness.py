@@ -18,7 +18,7 @@ from repro.engine import EngineConfig, run_task, summarize_results
 from repro.experiments.config import PaperConfig
 from repro.experiments.figures import FigureResult
 from repro.experiments.sweep import make_network
-from repro.experiments.workload import generate_tasks
+from repro.sessions.workload import generate_tasks
 from repro.routing.base import RoutingProtocol
 from repro.routing.flooding import FloodingProtocol
 from repro.routing.gmp import GMPProtocol

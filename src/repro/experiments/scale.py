@@ -38,9 +38,9 @@ from repro.experiments.sweep import (
     cached_network,
     run_tasks,
 )
-from repro.experiments.workload import MulticastTask, generate_tasks
-from repro.perf.counters import GLOBAL_COUNTERS
+from repro.perf.counters import GLOBAL_COUNTERS, merge_worker_perf
 from repro.perf.parallel import ProgressFn, run_units
+from repro.sessions.workload import MulticastTask, generate_tasks
 from repro.simkit.rng import RandomStreams
 
 #: TTL generous enough for the 10k-node field diagonal (~4.5 km at 150 m
@@ -319,9 +319,10 @@ def run_scale_sweep(
     outputs = run_units(
         run_scale_unit, units, workers=workers, progress=progress, describe=describe
     )
-    if workers > 1 and len(units) > 1:
-        for _, delta in outputs:
-            GLOBAL_COUNTERS.merge_delta(delta)
+    merge_worker_perf(
+        (delta for _, delta in outputs),
+        used_pool=workers > 1 and len(units) > 1,
+    )
 
     index = 0
     for node_count, _net_index, k in cells:

@@ -18,7 +18,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine import DEFAULT_ENGINE_CONFIG, EngineConfig, TaskResult, run_task
 from repro.experiments.config import PaperConfig
-from repro.experiments.workload import MulticastTask
+from repro.sessions.workload import MulticastTask
 from repro.network.graph import WirelessNetwork, build_network
 from repro.network.topology import uniform_random_topology
 from repro.routing.base import RoutingProtocol

@@ -13,7 +13,7 @@ callable (``time.perf_counter`` injected by the CLI / scripts layer, or
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Optional
+from typing import Callable, Dict, Iterable, Mapping, Optional
 
 
 class CacheCounter:
@@ -168,6 +168,28 @@ class PerfCounters:
 
 #: Process-wide registry every cache reports into.
 GLOBAL_COUNTERS = PerfCounters()
+
+
+def merge_worker_perf(
+    deltas: "Iterable[Mapping[str, float]]", used_pool: bool
+) -> None:
+    """Fold worker-side perf-counter deltas into this process's registry.
+
+    The canonical merge step of every pooled sweep: work units return
+    ``(result, GLOBAL_COUNTERS.delta_since(before))`` and the parent calls
+    this with the deltas *in submission order* — counter addition is
+    commutative, so the merged totals are identical for any worker count,
+    and ``--perf`` reports whole-sweep counters instead of silently
+    dropping whatever moved inside pool workers.
+
+    Only merge when a pool actually executed the units (``used_pool``):
+    inline execution already accumulated into this process's
+    ``GLOBAL_COUNTERS`` directly, and merging again would double-count.
+    """
+    if not used_pool:
+        return
+    for delta in deltas:
+        GLOBAL_COUNTERS.merge_delta(delta)
 
 
 class StageTimer:

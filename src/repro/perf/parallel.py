@@ -16,7 +16,7 @@ a given network once and reuses it across all units it executes.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 ProgressFn = Callable[[str], None]
 
@@ -67,3 +67,55 @@ def run_units(
             results[index] = future.result()
             say(index)
     return results
+
+
+def stream_units(
+    fn: Callable[..., Any],
+    args_iter: Iterable[Tuple[Any, ...]],
+    workers: int = 1,
+    window: int = 0,
+) -> Iterator[Any]:
+    """Streaming :func:`run_units`: unbounded input, bounded in-flight work.
+
+    ``run_units`` materializes every argument tuple and every result — fine
+    for fixed sweeps, linear-memory for open-ended session streams.  This
+    generator instead keeps at most ``window`` units in flight and yields
+    results strictly in *submission order*, so the caller folds them exactly
+    as a serial run would: the output sequence is bit-identical for any
+    ``workers``/``window`` combination (the PR 2 contract), while memory
+    stays bounded by the window, not the stream length.
+
+    Args:
+        fn: A picklable module-level function (executed in-process when
+            ``workers <= 1``).
+        args_iter: Lazily-produced argument tuples; may be unbounded.  It
+            is only advanced as window slots free up, so a generator
+            backing it can checkpoint its own cursor safely.
+        workers: Process count; ``<= 1`` means serial in-process execution.
+        window: Maximum in-flight units when pooled (default:
+            ``4 * workers``).  Larger windows hide worker latency jitter;
+            the result order never changes.
+
+    Yields:
+        ``fn(*args)`` per input tuple, in submission order.
+    """
+    if workers <= 1:
+        for args in args_iter:
+            yield fn(*args)
+        return
+
+    from collections import deque
+    from concurrent.futures import ProcessPoolExecutor
+
+    if window <= 0:
+        window = 4 * workers
+    window = max(window, workers)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        pending: "deque[Any]" = deque()
+        for args in args_iter:
+            while len(pending) >= window:
+                # Head-of-line first: submission order is the fold order.
+                yield pending.popleft().result()
+            pending.append(pool.submit(fn, *args))
+        while pending:
+            yield pending.popleft().result()

@@ -1,0 +1,410 @@
+"""Seeded arrival-process generators for open-ended session streams.
+
+A *session stream* turns the paper's fixed task batches into a service-shaped
+workload: multicast sessions arrive over virtual time under a configurable
+arrival process, with heavy-tailed group sizes.  Three arrival models are
+provided:
+
+* :class:`PoissonArrivals` — memoryless arrivals at a constant rate;
+* :class:`BurstyArrivals` — a two-state MMPP (Markov-modulated Poisson
+  process): exponentially-distributed ON/OFF dwell periods with a distinct
+  arrival rate in each phase, the classic bursty-traffic model;
+* :class:`DiurnalArrivals` — a sinusoidally-modulated rate (day/night load
+  swing), sampled exactly via Lewis-Shedler thinning.
+
+Determinism and resumability are structural: session ``i`` draws *all* of
+its randomness (inter-arrival gap, group size, source, destinations) from a
+private generator seeded by ``derive_seed(seed, "session", i)``, and any
+cross-session arrival state (the MMPP phase, the diurnal clock) lives in an
+explicit, JSON-serializable :class:`StreamCursor`.  Advancing a cursor is a
+pure function, so a stream interrupted at session ``i`` and resumed from a
+stored cursor replays sessions ``i, i+1, ...`` bit-identically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Tuple, Union
+
+import numpy as np
+
+from repro.sessions.workload import MulticastTask, sample_group
+from repro.simkit.rng import derive_seed
+
+#: Sentinel for "dwell time not yet drawn" in a fresh MMPP cursor.
+_UNDRAWN = -1.0
+
+
+def exponential_starts(
+    rng: np.random.Generator, count: int, mean_interarrival_s: float
+) -> List[float]:
+    """Poisson-process start times: ``count`` arrivals, first at t=0.
+
+    The cumulative form used by the contention sweep: session ``i`` starts
+    where session ``i-1``'s exponential gap ended.  Shared here so every
+    harness that needs simple seeded arrival times draws them identically.
+    """
+    starts: List[float] = []
+    clock = 0.0
+    for _ in range(count):
+        starts.append(clock)
+        clock += float(rng.exponential(mean_interarrival_s))
+    return starts
+
+
+# ----------------------------------------------------------------------
+# Arrival processes
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Constant-rate memoryless arrivals."""
+
+    rate_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0.0:
+            raise ValueError(f"arrival rate must be positive, got {self.rate_per_s}")
+
+    def next_gap(
+        self,
+        rng: np.random.Generator,
+        clock_s: float,
+        state: Tuple[float, ...],
+    ) -> Tuple[float, Tuple[float, ...]]:
+        del clock_s, state  # memoryless
+        return float(rng.exponential(1.0 / self.rate_per_s)), ()
+
+    def describe(self) -> str:
+        return f"poisson({self.rate_per_s:g}/s)"
+
+
+@dataclass(frozen=True)
+class BurstyArrivals:
+    """Two-state MMPP: ON/OFF phases with exponential dwell times.
+
+    Phase 0 (ON) emits at ``on_rate_per_s``; phase 1 (OFF) at
+    ``off_rate_per_s`` (which may be zero — a true silence period).  The
+    cursor state is ``(phase, residual dwell seconds)``.
+    """
+
+    on_rate_per_s: float
+    off_rate_per_s: float
+    mean_on_s: float
+    mean_off_s: float
+
+    def __post_init__(self) -> None:
+        if self.on_rate_per_s <= 0.0:
+            raise ValueError(f"ON rate must be positive, got {self.on_rate_per_s}")
+        if self.off_rate_per_s < 0.0:
+            raise ValueError(
+                f"OFF rate must be non-negative, got {self.off_rate_per_s}"
+            )
+        if self.mean_on_s <= 0.0 or self.mean_off_s <= 0.0:
+            raise ValueError("MMPP dwell means must be positive")
+
+    def _phase_rate(self, phase: int) -> float:
+        return self.on_rate_per_s if phase == 0 else self.off_rate_per_s
+
+    def _phase_mean(self, phase: int) -> float:
+        return self.mean_on_s if phase == 0 else self.mean_off_s
+
+    def next_gap(
+        self,
+        rng: np.random.Generator,
+        clock_s: float,
+        state: Tuple[float, ...],
+    ) -> Tuple[float, Tuple[float, ...]]:
+        del clock_s
+        if state:
+            phase, left = int(state[0]), float(state[1])
+        else:
+            phase, left = 0, _UNDRAWN
+        if left < 0.0:
+            left = float(rng.exponential(self._phase_mean(phase)))
+        gap = 0.0
+        while True:
+            rate = self._phase_rate(phase)
+            if rate > 0.0:
+                draw = float(rng.exponential(1.0 / rate))
+                if draw <= left:
+                    gap += draw
+                    left -= draw
+                    return gap, (float(phase), left)
+            # No arrival within this dwell period: burn it and switch phase.
+            gap += left
+            phase = 1 - phase
+            left = float(rng.exponential(self._phase_mean(phase)))
+
+    def describe(self) -> str:
+        return (
+            f"mmpp(on={self.on_rate_per_s:g}/s x {self.mean_on_s:g}s, "
+            f"off={self.off_rate_per_s:g}/s x {self.mean_off_s:g}s)"
+        )
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals:
+    """Sinusoidally-modulated rate, sampled exactly by thinning.
+
+    The instantaneous rate is ``base * (1 + amplitude * sin(2*pi*t/period))``
+    — never negative for ``amplitude <= 1``.  Lewis-Shedler thinning draws
+    candidates from the peak-rate Poisson process and accepts each with
+    probability ``rate(t)/rate_max``, which samples the inhomogeneous
+    process without discretization error.
+    """
+
+    base_rate_per_s: float
+    amplitude: float
+    period_s: float
+
+    def __post_init__(self) -> None:
+        if self.base_rate_per_s <= 0.0:
+            raise ValueError(
+                f"base rate must be positive, got {self.base_rate_per_s}"
+            )
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise ValueError(f"amplitude must be in [0, 1], got {self.amplitude}")
+        if self.period_s <= 0.0:
+            raise ValueError(f"period must be positive, got {self.period_s}")
+
+    def rate_at(self, t_s: float) -> float:
+        """The instantaneous arrival rate at virtual time ``t_s``."""
+        return self.base_rate_per_s * (
+            1.0 + self.amplitude * math.sin(2.0 * math.pi * t_s / self.period_s)
+        )
+
+    def next_gap(
+        self,
+        rng: np.random.Generator,
+        clock_s: float,
+        state: Tuple[float, ...],
+    ) -> Tuple[float, Tuple[float, ...]]:
+        del state
+        rate_max = self.base_rate_per_s * (1.0 + self.amplitude)
+        t = clock_s
+        while True:
+            t += float(rng.exponential(1.0 / rate_max))
+            if float(rng.random()) * rate_max <= self.rate_at(t):
+                return t - clock_s, ()
+
+    def describe(self) -> str:
+        return (
+            f"diurnal({self.base_rate_per_s:g}/s +/-{self.amplitude:g}, "
+            f"period {self.period_s:g}s)"
+        )
+
+
+ArrivalProcess = Union[PoissonArrivals, BurstyArrivals, DiurnalArrivals]
+
+
+# ----------------------------------------------------------------------
+# Group-size samplers
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FixedGroups:
+    """Every session multicasts to exactly ``size`` destinations."""
+
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"group size must be positive, got {self.size}")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        del rng
+        return self.size
+
+    @property
+    def max_size(self) -> int:
+        return self.size
+
+    def describe(self) -> str:
+        return f"k={self.size}"
+
+
+@dataclass(frozen=True)
+class ZipfGroups:
+    """Heavy-tailed group sizes: truncated Zipf over ``[min_size, max_size]``.
+
+    ``P(k) \\propto k**-alpha`` — most sessions are small unicast-ish groups,
+    a heavy tail reaches the ``max_size`` broadcast-ish ones, matching
+    measured multicast group populations far better than a constant ``k``.
+    """
+
+    alpha: float
+    min_size: int
+    max_size: int
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0.0:
+            raise ValueError(f"Zipf exponent must be positive, got {self.alpha}")
+        if self.min_size <= 0 or self.max_size < self.min_size:
+            raise ValueError(
+                f"need 0 < min_size <= max_size, got "
+                f"[{self.min_size}, {self.max_size}]"
+            )
+
+    def _cdf(self) -> np.ndarray:
+        sizes = np.arange(self.min_size, self.max_size + 1, dtype=np.float64)
+        weights = sizes**-self.alpha
+        return np.cumsum(weights / weights.sum())
+
+    def sample(self, rng: np.random.Generator) -> int:
+        u = float(rng.random())
+        return self.min_size + int(np.searchsorted(self._cdf(), u, side="right"))
+
+    def probabilities(self) -> Dict[int, float]:
+        """Exact ``{k: P(k)}`` table (for tests and documentation)."""
+        cdf = self._cdf()
+        probs = np.diff(np.concatenate(([0.0], cdf)))
+        return {
+            self.min_size + i: float(p) for i, p in enumerate(probs)
+        }
+
+    def describe(self) -> str:
+        return f"zipf(a={self.alpha:g}, k={self.min_size}..{self.max_size})"
+
+
+GroupSampler = Union[FixedGroups, ZipfGroups]
+
+
+# ----------------------------------------------------------------------
+# The resumable stream
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SessionRequest:
+    """One session of the stream: a multicast task plus its arrival time."""
+
+    task: MulticastTask
+    arrival_s: float
+
+
+@dataclass(frozen=True)
+class StreamCursor:
+    """Position of a session stream — everything needed to continue it.
+
+    Serializable to/from a flat JSON dict; advancing a cursor is pure, so
+    checkpointing a cursor and resuming from it replays the remaining
+    stream bit-identically.
+    """
+
+    index: int = 0
+    clock_s: float = 0.0
+    arrival_state: Tuple[float, ...] = ()
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "clock_s": self.clock_s,
+            "arrival_state": list(self.arrival_state),
+        }
+
+    @staticmethod
+    def from_json_dict(payload: Dict[str, Any]) -> "StreamCursor":
+        return StreamCursor(
+            index=int(payload["index"]),
+            clock_s=float(payload["clock_s"]),
+            arrival_state=tuple(
+                float(x) for x in payload["arrival_state"]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class SessionWorkload:
+    """A fully-seeded, unbounded session stream specification.
+
+    Immutable and picklable: the stream is a pure function of this spec and
+    a :class:`StreamCursor`, which is what makes checkpoint/resume exact.
+    """
+
+    seed: int
+    node_count: int
+    arrival: ArrivalProcess
+    groups: GroupSampler
+    first_task_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.node_count < 2:
+            raise ValueError(
+                f"a session stream needs at least 2 nodes, got {self.node_count}"
+            )
+
+    @property
+    def max_group_size(self) -> int:
+        """Largest group the stream can emit (clipped to the network)."""
+        return min(self.groups.max_size, self.node_count - 1)
+
+    def session_at(
+        self, cursor: StreamCursor
+    ) -> Tuple[SessionRequest, StreamCursor]:
+        """The session at ``cursor`` and the advanced cursor.
+
+        All randomness of session ``i`` comes from a generator seeded by
+        ``(seed, "session", i)``: gap first, then group size, then the
+        source/destination picks — a fixed draw order that any future
+        consumer must preserve.
+        """
+        rng = np.random.default_rng(
+            derive_seed(self.seed, "session", cursor.index)
+        )
+        gap, arrival_state = self.arrival.next_gap(
+            rng, cursor.clock_s, cursor.arrival_state
+        )
+        arrival_s = cursor.clock_s + gap
+        group_size = min(self.groups.sample(rng), self.node_count - 1)
+        source_id, destination_ids = sample_group(
+            self.node_count, group_size, rng
+        )
+        request = SessionRequest(
+            task=MulticastTask(
+                task_id=self.first_task_id + cursor.index,
+                source_id=source_id,
+                destination_ids=destination_ids,
+            ),
+            arrival_s=arrival_s,
+        )
+        return request, StreamCursor(
+            index=cursor.index + 1,
+            clock_s=arrival_s,
+            arrival_state=arrival_state,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.arrival.describe()} {self.groups.describe()} "
+            f"n={self.node_count} seed={self.seed}"
+        )
+
+
+@dataclass
+class SessionStream:
+    """Iterator façade over :meth:`SessionWorkload.session_at`.
+
+    Mutable convenience wrapper: holds the current cursor so callers can
+    pull sessions one at a time and snapshot :attr:`cursor` for
+    checkpoints at any point.
+    """
+
+    workload: SessionWorkload
+    cursor: StreamCursor = field(default_factory=StreamCursor)
+
+    def take(self, count: int) -> List[SessionRequest]:
+        """The next ``count`` sessions, advancing the stream."""
+        out: List[SessionRequest] = []
+        for _ in range(count):
+            request, self.cursor = self.workload.session_at(self.cursor)
+            out.append(request)
+        return out
+
+    def __iter__(self) -> Iterator[SessionRequest]:
+        while True:
+            request, self.cursor = self.workload.session_at(self.cursor)
+            yield request

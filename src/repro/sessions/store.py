@@ -1,0 +1,88 @@
+"""Incremental, resumable result store for streaming session runs.
+
+A checkpoint is one JSON document holding everything needed to continue a
+stream and to reproduce its final report byte-for-byte:
+
+* the run *identity* (workload spec, protocol, engine knobs) — resume
+  refuses a checkpoint written by a different run;
+* the :class:`~repro.sessions.arrivals.StreamCursor` (arrival position +
+  RNG cursor — session randomness re-derives from the index);
+* the sketch state of :class:`~repro.sessions.sketches.StreamStats`;
+* the running chain digest over per-session result digests.
+
+Floats survive the JSON round trip exactly (shortest-repr serialization),
+so a resumed run folds from the identical sketch state the interrupted run
+held — the digest-equality tests pin this end to end.
+
+Writes are atomic (temp file + ``os.replace``): a crash mid-checkpoint
+leaves the previous checkpoint intact, never a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+#: Format version; bump on any incompatible layout change.
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """A checkpoint exists but cannot be used (corrupt or wrong identity)."""
+
+
+class CheckpointStore:
+    """Atomic JSON snapshots of one streaming run's progress."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def save(self, identity: Dict[str, Any], payload: Dict[str, Any]) -> None:
+        """Atomically write ``payload`` tagged with ``identity``."""
+        document = {
+            "version": CHECKPOINT_VERSION,
+            "identity": identity,
+            **payload,
+        }
+        tmp_path = self.path + ".tmp"
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, self.path)
+
+    def load(self, identity: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """The stored payload, or ``None`` when no checkpoint exists.
+
+        Raises :class:`CheckpointError` when a file exists but is corrupt,
+        from an incompatible version, or was written by a run with a
+        different identity — silently resuming someone else's stream would
+        poison the digest chain.
+        """
+        if not os.path.exists(self.path):
+            return None
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise CheckpointError(
+                f"unreadable checkpoint {self.path!r}: {error}"
+            ) from error
+        if document.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {self.path!r} has version "
+                f"{document.get('version')!r}, expected {CHECKPOINT_VERSION}"
+            )
+        stored = document.get("identity")
+        if stored != identity:
+            raise CheckpointError(
+                f"checkpoint {self.path!r} belongs to a different run: "
+                f"stored identity {stored!r} != expected {identity!r}"
+            )
+        return {
+            key: value
+            for key, value in document.items()
+            if key not in ("version", "identity")
+        }

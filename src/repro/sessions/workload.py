@@ -1,0 +1,87 @@
+"""Multicast workload construction — the single source of truth.
+
+One *task* in the paper's evaluation is: pick a random source node and ``k``
+random distinct destination nodes, then deliver one message from the source
+to all destinations.  This module owns that construction for every consumer
+— the figure sweeps, the robustness and contention harnesses, the scale
+sweep, and the streaming session engine — so task sampling semantics cannot
+drift between experiments.  (It absorbs the old
+``repro.experiments.workload`` stub; the arrival-process layer on top lives
+in :mod:`repro.sessions.arrivals`.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.network.graph import WirelessNetwork
+
+
+@dataclass(frozen=True)
+class MulticastTask:
+    """One multicast request: a source and its destination group."""
+
+    task_id: int
+    source_id: int
+    destination_ids: Tuple[int, ...]
+
+    @property
+    def group_size(self) -> int:
+        return len(self.destination_ids)
+
+    def as_session_tuple(self) -> Tuple[int, int, Tuple[int, ...]]:
+        """The ``(task_id, source_id, destination_ids)`` triple the
+        session-based engines (:func:`repro.engine.run_contended_tasks`,
+        the streaming runner) consume."""
+        return (self.task_id, self.source_id, self.destination_ids)
+
+
+def sample_group(
+    node_count: int, group_size: int, rng: np.random.Generator
+) -> Tuple[int, Tuple[int, ...]]:
+    """Draw one ``(source, destinations)`` group uniformly without replacement.
+
+    The source is never its own destination and destinations are distinct —
+    the invariant every workload in the repository relies on.
+    """
+    if group_size <= 0:
+        raise ValueError(f"group size must be positive, got {group_size}")
+    if group_size + 1 > node_count:
+        raise ValueError(
+            f"group size {group_size} needs at least {group_size + 1} nodes, "
+            f"network has {node_count}"
+        )
+    picks = rng.choice(node_count, size=group_size + 1, replace=False)
+    return int(picks[0]), tuple(int(p) for p in picks[1:])
+
+
+def generate_tasks(
+    network: WirelessNetwork,
+    task_count: int,
+    group_size: int,
+    rng: np.random.Generator,
+    first_task_id: int = 0,
+) -> List[MulticastTask]:
+    """Sample ``task_count`` random tasks with ``group_size`` destinations.
+
+    Source and destinations are drawn uniformly without replacement, so the
+    source is never its own destination and destinations are distinct.
+    """
+    if task_count <= 0:
+        raise ValueError(f"task count must be positive, got {task_count}")
+    tasks = []
+    for i in range(task_count):
+        source_id, destination_ids = sample_group(
+            network.node_count, group_size, rng
+        )
+        tasks.append(
+            MulticastTask(
+                task_id=first_task_id + i,
+                source_id=source_id,
+                destination_ids=destination_ids,
+            )
+        )
+    return tasks

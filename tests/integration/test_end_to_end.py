@@ -12,7 +12,7 @@ from repro.routing import (
     PBMProtocol,
     SMTProtocol,
 )
-from repro.experiments.workload import generate_tasks
+from repro.sessions.workload import generate_tasks
 
 ALL_PROTOCOLS = [
     GMPProtocol,

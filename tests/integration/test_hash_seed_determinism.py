@@ -23,7 +23,7 @@ import hashlib, json
 from repro.engine import run_task
 from repro.experiments.config import PaperConfig
 from repro.experiments.sweep import make_network
-from repro.experiments.workload import generate_tasks
+from repro.sessions.workload import generate_tasks
 from repro.routing import GMPProtocol, PBMProtocol, SMTProtocol
 from repro.simkit.rng import RandomStreams
 

@@ -1,0 +1,181 @@
+"""Direction-aware benchmark gate: minimize vs maximize semantics."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+spec = importlib.util.spec_from_file_location(
+    "bench_compare", REPO_ROOT / "scripts" / "bench_compare.py"
+)
+assert spec is not None and spec.loader is not None
+bench_compare = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench_compare)
+
+BenchEntry = bench_compare.BenchEntry
+
+
+def _export(path, benches):
+    """Write a minimal pytest-benchmark JSON export."""
+    payload = {
+        "benchmarks": [
+            {
+                "fullname": name,
+                "stats": {"median": median},
+                "extra_info": extra,
+            }
+            for name, median, extra in benches
+        ]
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return str(path)
+
+
+# ----------------------------------------------------------------------
+# load_entries
+# ----------------------------------------------------------------------
+
+
+def test_load_entries_defaults_to_minimize_median(tmp_path):
+    path = _export(tmp_path / "b.json", [("t::a", 0.5, {})])
+    entries = bench_compare.load_entries(path)
+    assert entries == {"t::a": BenchEntry(value=0.5, direction="minimize")}
+
+
+def test_load_entries_reads_direction_and_value(tmp_path):
+    path = _export(
+        tmp_path / "b.json",
+        [("t::thru", 0.1, {"direction": "maximize", "value": 125.0})],
+    )
+    entries = bench_compare.load_entries(path)
+    assert entries["t::thru"] == BenchEntry(value=125.0, direction="maximize")
+
+
+def test_load_entries_rejects_unknown_direction(tmp_path):
+    path = _export(tmp_path / "b.json", [("t::a", 0.5, {"direction": "sideways"})])
+    with pytest.raises(ValueError):
+        bench_compare.load_entries(path)
+
+
+def test_load_medians_legacy_view(tmp_path):
+    path = _export(
+        tmp_path / "b.json",
+        [("t::a", 0.5, {}), ("t::b", 0.1, {"direction": "maximize", "value": 9.0})],
+    )
+    assert bench_compare.load_medians(path) == {"t::a": 0.5, "t::b": 9.0}
+
+
+# ----------------------------------------------------------------------
+# entry_fails: the direction semantics
+# ----------------------------------------------------------------------
+
+
+def _min(value):
+    return BenchEntry(value=value, direction="minimize")
+
+
+def _max(value):
+    return BenchEntry(value=value, direction="maximize")
+
+
+def test_minimize_fails_on_upward_drift():
+    assert not bench_compare.entry_fails(_min(1.0), _min(1.2), max_ratio=1.3)
+    assert bench_compare.entry_fails(_min(1.0), _min(1.5), max_ratio=1.3)
+    # Getting faster never fails a runtime bench.
+    assert not bench_compare.entry_fails(_min(1.0), _min(0.1), max_ratio=1.3)
+
+
+def test_maximize_fails_on_downward_drift():
+    # Throughput dropping below base/max_ratio is the regression.
+    assert bench_compare.entry_fails(_max(100.0), _max(50.0), max_ratio=1.3)
+    assert not bench_compare.entry_fails(_max(100.0), _max(90.0), max_ratio=1.3)
+    # Getting faster never fails a throughput bench.
+    assert not bench_compare.entry_fails(_max(100.0), _max(500.0), max_ratio=1.3)
+
+
+def test_maximize_boundary_is_inverse_ratio():
+    assert not bench_compare.entry_fails(_max(130.0), _max(100.1), max_ratio=1.3)
+    assert bench_compare.entry_fails(_max(130.0), _max(99.0), max_ratio=1.3)
+
+
+def test_direction_mismatch_always_fails():
+    assert bench_compare.entry_fails(_min(1.0), _max(1.0), max_ratio=10.0)
+    assert bench_compare.entry_fails(_max(1.0), _min(1.0), max_ratio=10.0)
+
+
+# ----------------------------------------------------------------------
+# compare end to end
+# ----------------------------------------------------------------------
+
+
+def test_compare_passes_within_band(capsys):
+    baseline = {"t::a": _min(1.0), "t::thru": _max(100.0)}
+    fresh = {"t::a": _min(1.1), "t::thru": _max(95.0)}
+    assert bench_compare.compare(baseline, fresh, max_ratio=1.3) == 0
+    out = capsys.readouterr().out
+    assert "REGRESSION" not in out
+
+
+def test_compare_flags_throughput_regression(capsys):
+    baseline = {"t::thru": _max(100.0)}
+    fresh = {"t::thru": _max(40.0)}
+    assert bench_compare.compare(baseline, fresh, max_ratio=1.3) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_compare_throughput_speedup_is_not_a_regression(capsys):
+    """A 10x throughput gain has ratio 10 > max_ratio — must still pass."""
+    baseline = {"t::thru": _max(100.0)}
+    fresh = {"t::thru": _max(1000.0)}
+    assert bench_compare.compare(baseline, fresh, max_ratio=1.3) == 0
+
+
+def test_compare_flags_direction_change(capsys):
+    baseline = {"t::x": _min(1.0)}
+    fresh = {"t::x": _max(1.0)}
+    assert bench_compare.compare(baseline, fresh, max_ratio=10.0) == 1
+    assert "DIRECTION CHANGED" in capsys.readouterr().out
+
+
+def test_compare_removed_fails_and_added_gated_by_allow_new(capsys):
+    baseline = {"t::old": _min(1.0)}
+    fresh = {"t::new": _min(1.0)}
+    assert bench_compare.compare(baseline, fresh, max_ratio=1.3) == 2
+    assert bench_compare.compare(baseline, fresh, max_ratio=1.3, allow_new=True) == 1
+
+
+def test_main_round_trip(tmp_path):
+    base_path = _export(
+        tmp_path / "base.json",
+        [
+            ("t::a", 1.0, {}),
+            ("t::thru", 0.2, {"direction": "maximize", "value": 100.0}),
+        ],
+    )
+    fresh_path = _export(
+        tmp_path / "fresh.json",
+        [
+            ("t::a", 1.1, {}),
+            ("t::thru", 0.3, {"direction": "maximize", "value": 110.0}),
+        ],
+    )
+    assert (
+        bench_compare.main([fresh_path, "--baseline", base_path, "--max-ratio", "1.3"])
+        == 0
+    )
+    bad_path = _export(
+        tmp_path / "bad.json",
+        [
+            ("t::a", 1.0, {}),
+            ("t::thru", 0.2, {"direction": "maximize", "value": 10.0}),
+        ],
+    )
+    assert (
+        bench_compare.main([bad_path, "--baseline", base_path, "--max-ratio", "1.3"])
+        == 1
+    )

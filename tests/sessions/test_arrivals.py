@@ -1,0 +1,167 @@
+"""Arrival-process generators: determinism, resumability, distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sessions.arrivals import (
+    BurstyArrivals,
+    DiurnalArrivals,
+    FixedGroups,
+    PoissonArrivals,
+    SessionStream,
+    SessionWorkload,
+    StreamCursor,
+    ZipfGroups,
+    exponential_starts,
+)
+
+ARRIVALS = [
+    PoissonArrivals(rate_per_s=2.0),
+    BurstyArrivals(
+        on_rate_per_s=5.0, off_rate_per_s=0.1, mean_on_s=10.0, mean_off_s=20.0
+    ),
+    DiurnalArrivals(base_rate_per_s=1.0, amplitude=0.8, period_s=600.0),
+]
+
+
+def _workload(arrival, seed=11, node_count=60):
+    return SessionWorkload(
+        seed=seed,
+        node_count=node_count,
+        arrival=arrival,
+        groups=ZipfGroups(alpha=1.2, min_size=2, max_size=10),
+    )
+
+
+@pytest.mark.parametrize("arrival", ARRIVALS, ids=lambda a: a.describe())
+def test_stream_is_deterministic(arrival):
+    first = SessionStream(_workload(arrival)).take(40)
+    second = SessionStream(_workload(arrival)).take(40)
+    assert first == second
+
+
+@pytest.mark.parametrize("arrival", ARRIVALS, ids=lambda a: a.describe())
+def test_resume_from_cursor_replays_identically(arrival):
+    """A stream resumed from any checkpointed cursor continues bit-identically."""
+    reference = SessionStream(_workload(arrival))
+    full = reference.take(50)
+    for split in (1, 7, 25, 49):
+        head_stream = SessionStream(_workload(arrival))
+        head = head_stream.take(split)
+        # Round-trip the cursor through its JSON form, as a checkpoint does.
+        cursor = StreamCursor.from_json_dict(head_stream.cursor.to_json_dict())
+        tail = SessionStream(_workload(arrival), cursor).take(50 - split)
+        assert head + tail == full
+
+
+@pytest.mark.parametrize("arrival", ARRIVALS, ids=lambda a: a.describe())
+def test_arrivals_strictly_ordered_and_finite(arrival):
+    sessions = SessionStream(_workload(arrival)).take(100)
+    times = [s.arrival_s for s in sessions]
+    assert all(np.isfinite(times))
+    assert all(later > earlier for earlier, later in zip(times, times[1:]))
+
+
+def test_seed_changes_the_stream():
+    base = SessionStream(_workload(ARRIVALS[0], seed=11)).take(20)
+    other = SessionStream(_workload(ARRIVALS[0], seed=12)).take(20)
+    assert base != other
+
+
+def test_tasks_are_valid_multicast_groups():
+    for request in SessionStream(_workload(ARRIVALS[1])).take(200):
+        task = request.task
+        assert task.source_id not in task.destination_ids
+        assert len(set(task.destination_ids)) == len(task.destination_ids)
+        assert 2 <= task.group_size <= 10
+
+
+def test_task_ids_are_sequential():
+    sessions = SessionStream(_workload(ARRIVALS[0])).take(30)
+    assert [s.task.task_id for s in sessions] == list(range(30))
+
+
+def test_poisson_mean_gap_matches_rate():
+    workload = _workload(PoissonArrivals(rate_per_s=4.0), node_count=50)
+    sessions = SessionStream(workload).take(4000)
+    gaps = np.diff([s.arrival_s for s in sessions])
+    assert float(np.mean(gaps)) == pytest.approx(0.25, rel=0.1)
+
+
+def test_mmpp_is_burstier_than_poisson():
+    """ON/OFF modulation must raise the gap coefficient of variation above 1."""
+    bursty = _workload(
+        BurstyArrivals(
+            on_rate_per_s=10.0, off_rate_per_s=0.05, mean_on_s=5.0, mean_off_s=20.0
+        ),
+        node_count=50,
+    )
+    gaps = np.diff([s.arrival_s for s in SessionStream(bursty).take(3000)])
+    cv = float(np.std(gaps) / np.mean(gaps))
+    assert cv > 1.2  # exponential gaps have cv == 1
+
+
+def test_diurnal_rate_modulates_arrival_density():
+    """More arrivals land in the high-rate half-period than the low one."""
+    period = 200.0
+    workload = _workload(
+        DiurnalArrivals(base_rate_per_s=2.0, amplitude=0.9, period_s=period),
+        node_count=50,
+    )
+    sessions = SessionStream(workload).take(5000)
+    phases = [(s.arrival_s % period) / period for s in sessions]
+    high = sum(1 for p in phases if p < 0.5)  # sin > 0: above-base rate
+    low = len(phases) - high
+    assert high > 1.5 * low
+
+
+def test_zipf_group_sizes_match_exact_distribution():
+    groups = ZipfGroups(alpha=1.5, min_size=2, max_size=12)
+    rng = np.random.default_rng(3)
+    draws = [groups.sample(rng) for _ in range(20000)]
+    probabilities = groups.probabilities()
+    assert sum(probabilities.values()) == pytest.approx(1.0)
+    # Heavy tail: smallest size dominates, largest still occurs.
+    counts = {k: draws.count(k) for k in probabilities}
+    assert counts[2] > counts[12] > 0
+    for size, probability in probabilities.items():
+        assert counts[size] / len(draws) == pytest.approx(probability, abs=0.01)
+
+
+def test_group_size_clipped_to_network():
+    workload = SessionWorkload(
+        seed=5,
+        node_count=5,
+        arrival=PoissonArrivals(1.0),
+        groups=FixedGroups(size=50),
+    )
+    assert workload.max_group_size == 4
+    for request in SessionStream(workload).take(20):
+        assert request.task.group_size == 4
+
+
+def test_exponential_starts_first_at_zero():
+    rng = np.random.default_rng(9)
+    starts = exponential_starts(rng, 10, 0.5)
+    assert starts[0] == 0.0
+    assert len(starts) == 10
+    assert all(b > a for a, b in zip(starts, starts[1:]))
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        PoissonArrivals(rate_per_s=0.0)
+    with pytest.raises(ValueError):
+        DiurnalArrivals(base_rate_per_s=1.0, amplitude=1.5, period_s=10.0)
+    with pytest.raises(ValueError):
+        BurstyArrivals(
+            on_rate_per_s=1.0, off_rate_per_s=-0.1, mean_on_s=1.0, mean_off_s=1.0
+        )
+    with pytest.raises(ValueError):
+        ZipfGroups(alpha=1.0, min_size=5, max_size=4)
+    with pytest.raises(ValueError):
+        SessionWorkload(
+            seed=1, node_count=1, arrival=ARRIVALS[0], groups=FixedGroups(2)
+        )

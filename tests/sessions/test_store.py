@@ -1,0 +1,69 @@
+"""Checkpoint store: atomicity, identity checks, exact float round-trips."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.sessions.store import CheckpointError, CheckpointStore
+
+IDENTITY = {"workload": "poisson", "seed": 7}
+
+
+def test_missing_checkpoint_returns_none(tmp_path):
+    store = CheckpointStore(str(tmp_path / "absent.json"))
+    assert store.load(IDENTITY) is None
+
+
+def test_save_load_round_trip_strips_bookkeeping(tmp_path):
+    store = CheckpointStore(str(tmp_path / "ck.json"))
+    payload = {"completed": 12, "chain": "abc", "cursor": {"index": 12}}
+    store.save(IDENTITY, payload)
+    assert store.load(IDENTITY) == payload
+
+
+def test_floats_round_trip_exactly(tmp_path):
+    store = CheckpointStore(str(tmp_path / "ck.json"))
+    values = [0.1 + 0.2, 1e-308, 123456789.123456789, -0.0]
+    store.save(IDENTITY, {"values": values})
+    loaded = store.load(IDENTITY)["values"]
+    assert [repr(v) for v in loaded] == [repr(v) for v in values]
+
+
+def test_identity_mismatch_raises(tmp_path):
+    store = CheckpointStore(str(tmp_path / "ck.json"))
+    store.save(IDENTITY, {"completed": 1})
+    with pytest.raises(CheckpointError):
+        store.load({"workload": "mmpp", "seed": 7})
+
+
+def test_corrupt_file_raises(tmp_path):
+    path = tmp_path / "ck.json"
+    path.write_text("{not json", encoding="utf-8")
+    with pytest.raises(CheckpointError):
+        CheckpointStore(str(path)).load(IDENTITY)
+
+
+def test_wrong_version_raises(tmp_path):
+    path = tmp_path / "ck.json"
+    path.write_text(
+        json.dumps({"version": 999, "identity": IDENTITY}), encoding="utf-8"
+    )
+    with pytest.raises(CheckpointError):
+        CheckpointStore(str(path)).load(IDENTITY)
+
+
+def test_save_is_atomic_no_tmp_left_behind(tmp_path):
+    store = CheckpointStore(str(tmp_path / "ck.json"))
+    store.save(IDENTITY, {"completed": 5})
+    store.save(IDENTITY, {"completed": 10})
+    assert sorted(os.listdir(tmp_path)) == ["ck.json"]
+    assert store.load(IDENTITY) == {"completed": 10}
+
+
+def test_save_creates_parent_directory(tmp_path):
+    store = CheckpointStore(str(tmp_path / "deep" / "dir" / "ck.json"))
+    store.save(IDENTITY, {"completed": 1})
+    assert store.load(IDENTITY) == {"completed": 1}
