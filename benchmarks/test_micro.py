@@ -10,6 +10,7 @@ import pathlib
 import numpy as np
 import pytest
 
+from repro.adversary import JAMMER, AdversarySchedule, AdversarySpec
 from repro.engine import EngineConfig, run_task
 from repro.experiments.config import PaperConfig
 from repro.experiments.scale import SCALE_QUICK, _scale_tasks, scaled_config
@@ -152,6 +153,79 @@ def test_bench_task_execution_gmp_contended(benchmark, micro_network):
         rounds=3,
         iterations=1,
     )
+
+
+def test_bench_task_execution_gmp_jammed(benchmark, micro_network):
+    """Stepping a jammer-saturated contended channel, in jam frames/sec.
+
+    Pairs with ``test_bench_task_execution_gmp_contended``: two duty-0.9
+    jammers keep the CSMA medium busy while the same GMP task fights
+    through, so the run is dominated by junk-frame channel stepping
+    (begin/finish, collision marking, backoff retries).  Throughput
+    direction: the compared figure is jam frames stepped per second.
+    """
+    dests = [30, 90, 150, 210, 270, 330, 370, 399]
+    config = EngineConfig(
+        transmission_model="contended",
+        link=LinkLayerConfig(beacons=False),
+        adversary=AdversarySchedule(
+            specs=(
+                AdversarySpec(60, JAMMER, jam_duty=0.9),
+                AdversarySpec(200, JAMMER, jam_duty=0.9),
+            ),
+            seed=23,
+        ),
+    )
+    frames = {}
+
+    def jammed_task():
+        result = run_task(
+            micro_network, GMPProtocol(), 0, dests, config=config
+        )
+        frames["stepped"] = result.perf["adv.jam_frames"]
+        return frames["stepped"]
+
+    benchmark.pedantic(jammed_task, rounds=3, iterations=1)
+    benchmark.extra_info["direction"] = "maximize"
+    benchmark.extra_info["value"] = (
+        frames["stepped"] / benchmark.stats.stats.median
+    )
+
+
+def test_bench_fuzz_executor_throughput(benchmark):
+    """Fuzz scenarios judged per second (generator -> executor -> oracles).
+
+    The campaign's wall-clock budget is executor-bound: each scenario runs
+    its full workload with traces on, runs the benign twin, and evaluates
+    four oracles.  Throughput direction: scenarios/sec, higher is better.
+    """
+    from repro.fuzz.executor import build_scenario_network, run_scenario
+    from repro.fuzz.generator import ScenarioSpec
+
+    specs = [
+        ScenarioSpec(
+            seed=900 + i,
+            node_count=80,
+            field_size_m=600.0,
+            protocol="GMP",
+            transmission_model="protocol",
+            task_count=2,
+            group_size=4,
+            link_loss_rate=0.1,
+        )
+        for i in range(6)
+    ]
+    for spec in specs:
+        build_scenario_network(spec)  # warm the deployment memo
+
+    def sweep():
+        digests = {run_scenario(spec).results_digest for spec in specs}
+        assert len(digests) == len(specs)
+        return digests
+
+    benchmark.pedantic(sweep, rounds=3, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["direction"] = "maximize"
+    benchmark.extra_info["value"] = len(specs) / benchmark.stats.stats.median
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,40 @@
+"""Pluggable adversarial node behaviors for robustness experiments.
+
+The paper evaluates GMP under benign conditions only; this package supplies
+the misbehaving nodes — selective packet droppers, location spoofers,
+beacon suppressors and CSMA jammers — that the fuzzer
+(:mod:`repro.fuzz`) and the ``repro robustness --adversary`` sweep use to
+stress the protocol's "stateless delivery keeps working" claim.
+
+Behaviors are declared as an immutable :class:`AdversarySchedule` carried
+on :class:`~repro.engine.runner.EngineConfig` and realized per task/run as
+an :class:`AdversaryState`.  Everything is seeded through
+:func:`~repro.simkit.rng.derive_seed`, so adversarial runs are as
+replayable as benign ones, and an *empty* schedule leaves the engine on
+its exact pre-adversary code path (A/B switch contract: trace digests are
+byte-identical with adversaries disabled).
+"""
+
+from repro.adversary.schedule import (
+    BEHAVIORS,
+    DROPPER,
+    EMPTY_ADVERSARY_SCHEDULE,
+    JAMMER,
+    SPOOFER,
+    SUPPRESSOR,
+    AdversarySchedule,
+    AdversarySpec,
+)
+from repro.adversary.state import AdversaryState
+
+__all__ = [
+    "AdversarySchedule",
+    "AdversarySpec",
+    "AdversaryState",
+    "BEHAVIORS",
+    "DROPPER",
+    "EMPTY_ADVERSARY_SCHEDULE",
+    "JAMMER",
+    "SPOOFER",
+    "SUPPRESSOR",
+]

@@ -1,0 +1,191 @@
+"""Declarative, immutable adversary schedules.
+
+A schedule is *data*: which nodes misbehave, how, and under which seed.
+It lives on :class:`~repro.engine.runner.EngineConfig` (frozen, hashable,
+picklable — process-pool workers receive it with the config) and is turned
+into live per-task state by :class:`repro.adversary.state.AdversaryState`.
+
+Four behaviors, one per adversarial node:
+
+``dropper``
+    Forwards normally but silently discards packets it should deliver or
+    relay — all of them, a seeded fraction (``drop_rate``), or only flows
+    towards ``target_destinations`` (selective/grayhole).
+``spoofer``
+    Advertises a lying GPS position (true location displaced by up to
+    ``spoof_offset_m``) in HELLO beacons and warm-start tables, bending
+    neighbors' greedy/perimeter decisions around a phantom geometry.
+``suppressor``
+    Never sends HELLO beacons, so its neighbors' soft-state tables starve:
+    the node keeps hearing traffic but disappears from everyone's view.
+``jammer``
+    Keeps the CSMA channel saturated with periodic junk frames
+    (``jam_duty`` of every ``jam_period_s`` on the air).  Only meaningful
+    under the contended transmission model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Mapping, Tuple
+
+DROPPER = "dropper"
+SPOOFER = "spoofer"
+SUPPRESSOR = "suppressor"
+JAMMER = "jammer"
+
+#: Every behavior a spec may declare, in canonical order.
+BEHAVIORS: Tuple[str, ...] = (DROPPER, SPOOFER, SUPPRESSOR, JAMMER)
+
+
+@dataclass(frozen=True)
+class AdversarySpec:
+    """One misbehaving node: who, how, and the behavior's knobs.
+
+    Only the fields of the declared ``behavior`` are meaningful; the others
+    keep their defaults so specs stay comparable and JSON round-trips stay
+    exact.
+    """
+
+    node_id: int
+    behavior: str
+    #: Dropper: probability a matching packet is discarded (1.0 = blackhole).
+    drop_rate: float = 1.0
+    #: Dropper: only packets carrying one of these destinations are dropped
+    #: (empty = every packet — an unselective blackhole/grayhole).
+    target_destinations: Tuple[int, ...] = ()
+    #: Spoofer: maximum displacement of the advertised position, meters.
+    spoof_offset_m: float = 200.0
+    #: Jammer: fraction of each period spent transmitting junk.
+    jam_duty: float = 0.5
+    #: Jammer: length of one jam cycle, seconds.
+    jam_period_s: float = 2e-3
+    #: Jammer: size of each junk frame, bytes.
+    jam_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError(f"adversary node id must be >= 0, got {self.node_id}")
+        if self.behavior not in BEHAVIORS:
+            raise ValueError(
+                f"unknown adversary behavior {self.behavior!r}; "
+                f"expected one of {BEHAVIORS}"
+            )
+        if not 0.0 < self.drop_rate <= 1.0:
+            raise ValueError(f"drop rate must be in (0, 1], got {self.drop_rate}")
+        if self.spoof_offset_m <= 0.0:
+            raise ValueError(
+                f"spoof offset must be positive, got {self.spoof_offset_m}"
+            )
+        if not 0.0 < self.jam_duty <= 1.0:
+            raise ValueError(f"jam duty must be in (0, 1], got {self.jam_duty}")
+        if self.jam_period_s <= 0.0:
+            raise ValueError(
+                f"jam period must be positive, got {self.jam_period_s}"
+            )
+        if self.jam_bytes <= 0:
+            raise ValueError(f"jam frame size must be positive, got {self.jam_bytes}")
+        normalized = tuple(sorted(set(self.target_destinations)))
+        if normalized != self.target_destinations:
+            object.__setattr__(self, "target_destinations", normalized)
+        for dest in normalized:
+            if dest < 0:
+                raise ValueError(f"target destination must be >= 0, got {dest}")
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-exact serialization (round-trips through :meth:`from_json_dict`)."""
+        return {
+            "node_id": self.node_id,
+            "behavior": self.behavior,
+            "drop_rate": self.drop_rate,
+            "target_destinations": list(self.target_destinations),
+            "spoof_offset_m": self.spoof_offset_m,
+            "jam_duty": self.jam_duty,
+            "jam_period_s": self.jam_period_s,
+            "jam_bytes": self.jam_bytes,
+        }
+
+    @staticmethod
+    def from_json_dict(data: Mapping[str, Any]) -> "AdversarySpec":
+        return AdversarySpec(
+            node_id=int(data["node_id"]),
+            behavior=str(data["behavior"]),
+            drop_rate=float(data["drop_rate"]),
+            target_destinations=tuple(int(d) for d in data["target_destinations"]),
+            spoof_offset_m=float(data["spoof_offset_m"]),
+            jam_duty=float(data["jam_duty"]),
+            jam_period_s=float(data["jam_period_s"]),
+            jam_bytes=int(data["jam_bytes"]),
+        )
+
+
+@dataclass(frozen=True)
+class AdversarySchedule:
+    """The full adversarial cast of one run, plus the seed of their choices.
+
+    Specs are normalized to ascending ``node_id`` order so two schedules
+    listing the same cast compare (and hash, and digest) equal.  At most
+    one behavior per node: adversaries compose across nodes, not within.
+    """
+
+    specs: Tuple[AdversarySpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.specs, key=lambda spec: spec.node_id))
+        if ordered != self.specs:
+            object.__setattr__(self, "specs", ordered)
+        seen = set()
+        for spec in ordered:
+            if spec.node_id in seen:
+                raise ValueError(
+                    f"node {spec.node_id} declared adversarial more than once"
+                )
+            seen.add(spec.node_id)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any adversary is scheduled at all (the A/B switch)."""
+        return bool(self.specs)
+
+    @property
+    def node_ids(self) -> Tuple[int, ...]:
+        return tuple(spec.node_id for spec in self.specs)
+
+    def of_behavior(self, behavior: str) -> Tuple[AdversarySpec, ...]:
+        """The specs declaring ``behavior``, in node-id order."""
+        if behavior not in BEHAVIORS:
+            raise ValueError(f"unknown adversary behavior {behavior!r}")
+        return tuple(spec for spec in self.specs if spec.behavior == behavior)
+
+    @property
+    def has_jammers(self) -> bool:
+        return any(spec.behavior == JAMMER for spec in self.specs)
+
+    def without_node(self, node_id: int) -> "AdversarySchedule":
+        """A copy with ``node_id``'s spec removed (used by the shrinker)."""
+        return replace(
+            self,
+            specs=tuple(s for s in self.specs if s.node_id != node_id),
+        )
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "specs": [spec.to_json_dict() for spec in self.specs],
+        }
+
+    @staticmethod
+    def from_json_dict(data: Mapping[str, Any]) -> "AdversarySchedule":
+        return AdversarySchedule(
+            specs=tuple(
+                AdversarySpec.from_json_dict(item) for item in data["specs"]
+            ),
+            seed=int(data["seed"]),
+        )
+
+
+#: Shared immutable "no adversaries" default, mirroring
+#: ``DEFAULT_ENGINE_CONFIG``: the engine checks ``schedule.enabled`` and
+#: stays on its benign code path when this instance is in effect.
+EMPTY_ADVERSARY_SCHEDULE = AdversarySchedule()

@@ -107,7 +107,11 @@ class LintConfig:
         "R011",
     )
     #: Modules whose functions are digest-relevant taint sinks (R011).
-    taint_sink_scopes: Tuple[str, ...] = ("repro/engine/", "repro/experiments/")
+    taint_sink_scopes: Tuple[str, ...] = (
+        "repro/engine/",
+        "repro/experiments/",
+        "repro/fuzz/",
+    )
     #: Modules whose classes hold cache-guarded mutable state (R012).
     mutation_scopes: Tuple[str, ...] = ("repro/network/",)
     #: ``self.<attr>`` names whose mutation must reach an invalidator.

@@ -124,6 +124,15 @@ def _call_source(node: ast.Call) -> Optional[TaintSource]:
             return TaintSource(
                 node.lineno, node.col_offset, "builtin hash()", None
             )
+        # Bare-name calls of from-imported sources: ``from os import
+        # urandom`` / ``from numpy.random import default_rng`` shed the
+        # module prefix that the dotted tables below key on.
+        if chain[0] == "urandom":
+            return TaintSource(node.lineno, node.col_offset, "os.urandom()", None)
+        if chain[0] == "default_rng" and not node.args and not node.keywords:
+            return TaintSource(
+                node.lineno, node.col_offset, "unseeded default_rng()", "R001"
+            )
         return None
     tail = (chain[-2], chain[-1])
     name = ".".join(chain)

@@ -5,6 +5,8 @@ Examples::
     python -m repro.cli config
     python -m repro.cli figure11 --scale quick
     python -m repro.cli all --scale paper --json results.json
+    python -m repro.cli robustness --scale smoke --adversary
+    python -m repro.cli fuzz --seed 7 --budget 25 --json store.json
     python -m repro.cli lint src/
     python -m repro.cli lint --list-rules
 """
@@ -29,6 +31,7 @@ from repro.experiments.figures import (
 )
 from repro.experiments.report import render_figure_table, render_ratio_summary
 from repro.perf.counters import GLOBAL_COUNTERS, StageTimer
+from repro.sessions.store import CheckpointError
 
 _FIGURE_COMMANDS = (
     "config",
@@ -87,6 +90,14 @@ def _build_parser() -> argparse.ArgumentParser:
         subparsers.add_parser(
             name, parents=[experiment_options], help=f"regenerate {name}"
         )
+    subparsers.choices["robustness"].add_argument(
+        "--adversary",
+        action="store_true",
+        help=(
+            "also sweep adversarial node counts "
+            "(dropper/spoofer/suppressor behaviors)"
+        ),
+    )
 
     subparsers.add_parser(
         "scale",
@@ -118,6 +129,50 @@ def _build_parser() -> argparse.ArgumentParser:
             "halt after this many sessions complete this run (deterministic "
             "interruption for resume testing; use with --checkpoint-dir)"
         ),
+    )
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help=(
+            "run the deterministic scenario fuzzer (adversary/fault "
+            "schedules against the failure oracles)"
+        ),
+    )
+    fuzz.add_argument(
+        "--seed",
+        type=int,
+        default=20060704,
+        help="campaign root seed (default: 20060704)",
+    )
+    fuzz.add_argument(
+        "--budget",
+        type=int,
+        default=25,
+        help="number of scenarios to generate and run (default: 25)",
+    )
+    fuzz.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        help="write the canonical results store to this path",
+    )
+    fuzz.add_argument(
+        "--fixtures-dir",
+        default=None,
+        help="write shrunk findings as regression fixtures into this directory",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="record findings without minimizing them",
+    )
+    fuzz.add_argument(
+        "--fail-on-findings",
+        action="store_true",
+        help="exit 1 if any oracle fired (CI gate)",
+    )
+    fuzz.add_argument(
+        "--quiet", action="store_true", help="suppress progress messages"
     )
 
     lint = subparsers.add_parser(
@@ -246,10 +301,52 @@ def _run_lint(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def _run_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import render_fuzz_table, run_fuzz_campaign, write_fixtures
+
+    progress = (lambda msg: None) if args.quiet else (
+        # Operator-facing progress stamp, not simulation state.
+        lambda msg: print(
+            f"  [{time.strftime('%H:%M:%S')}] {msg}",  # reprolint: disable=R002
+            file=sys.stderr,
+        )
+    )
+    store = run_fuzz_campaign(
+        args.seed,
+        args.budget,
+        shrink=not args.no_shrink,
+        progress=progress,
+    )
+    # Deterministic report (and store digest) on stdout; CI byte-diffs it.
+    print(render_fuzz_table(store))
+    if args.json_path:
+        store.save(args.json_path)
+        progress(f"wrote {args.json_path}")
+    if args.fixtures_dir:
+        paths = write_fixtures(store, args.fixtures_dir)
+        progress(f"wrote {len(paths)} fixture(s) to {args.fixtures_dir}")
+    if args.fail_on_findings and store.finding_count:
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except (CheckpointError, ValueError) as error:
+        # Expected operator-level failures (unknown scale names, invalid
+        # configurations, unusable checkpoints) become a one-line diagnostic
+        # and a distinct exit code instead of a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "lint":
         return _run_lint(args)
+    if args.command == "fuzz":
+        return _run_fuzz(args)
 
     config = _make_config(args)
     progress = (lambda msg: None) if args.quiet else (
@@ -267,6 +364,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "robustness":
         from repro.experiments.robustness import (
+            adversary_sweep,
             link_loss_sweep,
             node_failure_sweep,
             robustness_scale_by_name,
@@ -282,6 +380,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         delivery, energy = link_loss_sweep(robust_config, scale=robust_scale)
         crash = node_failure_sweep(robust_config, scale=robust_scale)
         robustness_figures = (delivery, energy, crash)
+        if args.adversary:
+            progress("running adversary sweeps ...")
+            robustness_figures += adversary_sweep(
+                robust_config, scale=robust_scale
+            )
         for fig in robustness_figures:
             print(render_figure_table(fig, precision=3))
             print()

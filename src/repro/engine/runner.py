@@ -7,6 +7,8 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.adversary.schedule import EMPTY_ADVERSARY_SCHEDULE, AdversarySchedule
+from repro.adversary.state import AdversaryState
 from repro.engine.stats import TaskResult
 from repro.engine.trace import CopyRecord, FrameRecord, TaskTrace
 from repro.linklayer.config import DEFAULT_LINK_CONFIG, LinkLayerConfig
@@ -66,6 +68,12 @@ class EngineConfig:
         collect_perf: Attach per-task perf-cache counter deltas (hits and
             misses moved during the task) as :attr:`TaskResult.perf`.
             Instrumentation only — excluded from result digests.
+        adversary: The misbehaving-node cast (see :mod:`repro.adversary`).
+            Empty by default — and with an empty schedule every code path
+            below is byte-identical to the adversary-free engine (the A/B
+            switch contract the digest tests pin).  Jammers additionally
+            require the contended transmission model: they exist to occupy
+            a channel, and only ``"contended"`` has one.
     """
 
     max_path_length: int = 100
@@ -80,6 +88,7 @@ class EngineConfig:
     collect_traces: bool = False
     collect_perf: bool = False
     link: LinkLayerConfig = DEFAULT_LINK_CONFIG
+    adversary: AdversarySchedule = EMPTY_ADVERSARY_SCHEDULE
 
     def __post_init__(self) -> None:
         if self.transmission_model not in (
@@ -95,6 +104,12 @@ class EngineConfig:
             raise ValueError(
                 f"link loss rate must be in [0, 1), got {self.link_loss_rate}"
             )
+        for node_id in self.adversary.node_ids:
+            if node_id in self.failed_node_ids:
+                raise ValueError(
+                    f"node {node_id} is both failed and adversarial; a "
+                    "crashed node cannot misbehave"
+                )
 
 
 #: Shared immutable default: every entry point that accepts an optional
@@ -128,6 +143,18 @@ class _TaskExecution:
         self._loss_rng = np.random.default_rng(
             derive_seed(config.loss_seed, "loss", task_id)
         )
+        # None when the schedule is empty: the benign path below must stay
+        # byte-identical to the pre-adversary engine (A/B switch contract).
+        if config.adversary.enabled:
+            if config.adversary.has_jammers:
+                raise ValueError(
+                    "jammers require the contended transmission model"
+                )
+            self.adversary: Optional[AdversaryState] = AdversaryState(
+                config.adversary, network, ("task", task_id)
+            )
+        else:
+            self.adversary = None
 
     def transmit(self, sender_id: int, decisions: Sequence[ForwardDecision]) -> None:
         """Send the decided copies: charge energy, schedule the arrivals.
@@ -212,14 +239,24 @@ class _TaskExecution:
         return False
 
     def receive(self, node_id: int, packet: MulticastPacket) -> None:
-        """Arrival processing: record delivery, then let the protocol forward."""
+        """Arrival processing: record delivery, then let the protocol forward.
+
+        A dropper adversary swallows the packet *before* any bookkeeping:
+        a malicious group member suppresses even its own delivery.
+        """
+        if self.adversary is not None and self.adversary.should_drop(
+            node_id, packet
+        ):
+            return
         if any(d.node_id == node_id for d in packet.destinations):
             if node_id not in self.delivered_hops:
                 self.delivered_hops[node_id] = packet.hop_count
             packet = packet.without_destination(node_id)
         if not packet.destinations:
             return
-        view = NodeView(self.network, node_id)
+        view: NodeView = NodeView(self.network, node_id)
+        if self.adversary is not None:
+            view = self.adversary.wrap_view(view)
         decisions = self.protocol.handle(view, packet)
         self.transmit(node_id, decisions)
 
@@ -314,6 +351,10 @@ def run_task(
             if perf_before is not None
             else None
         )
+        if execution.adversary is not None and execution.adversary.counters:
+            merged: Dict[str, float] = dict(perf) if perf else {}
+            merged.update(execution.adversary.perf_counters())
+            perf = merged
         return TaskResult(
             task_id=task_id,
             protocol=protocol.name,
@@ -445,6 +486,23 @@ class _ContendedRun:
         streams = RandomStreams(
             derive_seed(config.loss_seed, "mac", tuple(self.order))
         )
+        # None when the schedule is empty: the LinkLayer then gets its
+        # exact pre-adversary arguments, keeping benign contended runs
+        # byte-identical (A/B switch contract).  The counter hook routes
+        # behavior tallies into the link stats' ``adv.*`` bucket;
+        # ``self.link`` exists before any bump can fire.
+        self.adversary: Optional[AdversaryState] = (
+            AdversaryState(
+                config.adversary,
+                network,
+                ("run", tuple(self.order)),
+                on_count=lambda key, amount: self.link.stats.bump_adv(
+                    key, amount
+                ),
+            )
+            if config.adversary.enabled
+            else None
+        )
         self.link = LinkLayer(
             network=network,
             simulator=self.simulator,
@@ -455,6 +513,16 @@ class _ContendedRun:
             charge=self._charge,
             copy_loss=self._copy_loss,
             on_frame=self._on_frame if want_trace else None,
+            advertised_location=(
+                self.adversary.advertised_location
+                if self.adversary is not None and self.adversary.distorts_views
+                else None
+            ),
+            beacon_silenced=(
+                self.adversary.suppressed
+                if self.adversary is not None
+                else frozenset()
+            ),
         )
 
     # ------------------------------------------------------ link callbacks
@@ -539,6 +607,10 @@ class _ContendedRun:
     def _receive(
         self, session: _ContendedSession, node_id: int, packet: MulticastPacket
     ) -> None:
+        if self.adversary is not None and self.adversary.should_drop(
+            node_id, packet
+        ):
+            return
         if any(d.node_id == node_id for d in packet.destinations):
             if node_id not in session.delivered_hops:
                 session.delivered_hops[node_id] = packet.hop_count
@@ -546,6 +618,10 @@ class _ContendedRun:
         if not packet.destinations:
             return
         view = self.link.view(node_id)
+        if self.adversary is not None and self.link.beacon_service is None:
+            # Without beacons the view is the graph oracle; apply the same
+            # spoof/suppress distortion the beacon process would have fed it.
+            view = self.adversary.wrap_view(view)
         decisions = session.protocol.handle(view, packet)
         self._transmit(session, node_id, decisions)
 
@@ -649,6 +725,13 @@ class _ContendedRun:
         if self.config.link.beacons:
             ticks = int(horizon / self.config.link.beacon_period_s) + 2
             max_events += ticks * self.network.node_count * 8
+        if self.adversary is not None:
+            jam_frames = self.adversary.start_jammers(
+                self.link, horizon, self.config.failed_node_ids
+            )
+            # Every jam frame is a schedule + finish event; widen the
+            # budget so saturation cannot masquerade as a routing loop.
+            max_events += jam_frames * 4
         self.simulator.run(until=horizon, max_events=max_events)
         return [self._result_of(task_id) for task_id in self.order]
 

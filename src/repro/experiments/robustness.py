@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.adversary import DROPPER, SPOOFER, SUPPRESSOR, AdversarySchedule, AdversarySpec
 from repro.engine import EngineConfig, run_task, summarize_results
 from repro.experiments.config import PaperConfig
 from repro.experiments.figures import FigureResult
@@ -45,6 +46,7 @@ class RobustnessScale:
     group_size: int = 8
     loss_rates: Tuple[float, ...] = (0.0, 0.1, 0.2, 0.35, 0.5)
     failed_fractions: Tuple[float, ...] = (0.0, 0.05, 0.1, 0.2)
+    adversary_counts: Tuple[int, ...] = (0, 1, 2, 4, 8)
 
 
 SMOKE_ROBUSTNESS_SCALE = RobustnessScale(
@@ -54,6 +56,7 @@ SMOKE_ROBUSTNESS_SCALE = RobustnessScale(
     group_size=5,
     loss_rates=(0.0, 0.2),
     failed_fractions=(0.0, 0.1),
+    adversary_counts=(0, 4),
 )
 
 QUICK_ROBUSTNESS_SCALE = RobustnessScale()
@@ -65,6 +68,7 @@ PAPER_ROBUSTNESS_SCALE = RobustnessScale(
     group_size=10,
     loss_rates=(0.0, 0.05, 0.1, 0.2, 0.35, 0.5),
     failed_fractions=(0.0, 0.05, 0.1, 0.2, 0.3),
+    adversary_counts=(0, 1, 2, 4, 8, 16),
 )
 
 
@@ -207,3 +211,97 @@ def node_failure_sweep(
         y_label="delivered / requested",
         series=series,
     )
+
+
+#: Behaviors the adversary sweep exercises.  Jammers are excluded: they only
+#: exist on the contended transmission model, while this sweep (like the rest
+#: of the robustness family) runs the per-copy protocol model.
+ADVERSARY_SWEEP_BEHAVIORS: Tuple[str, ...] = (DROPPER, SPOOFER, SUPPRESSOR)
+
+
+def _behavior_spec(behavior: str, node_id: int, cfg: PaperConfig) -> AdversarySpec:
+    if behavior == DROPPER:
+        return AdversarySpec(node_id, DROPPER)
+    if behavior == SPOOFER:
+        return AdversarySpec(
+            node_id, SPOOFER, spoof_offset_m=0.4 * cfg.field_width_m
+        )
+    if behavior == SUPPRESSOR:
+        return AdversarySpec(node_id, SUPPRESSOR)
+    raise ValueError(
+        f"behavior {behavior!r} is not sweepable on the protocol model "
+        f"(expected one of {list(ADVERSARY_SWEEP_BEHAVIORS)})"
+    )
+
+
+def adversary_sweep(
+    config: Optional[PaperConfig] = None,
+    scale: Optional[RobustnessScale] = None,
+    behaviors: Tuple[str, ...] = ADVERSARY_SWEEP_BEHAVIORS,
+    protocols: Sequence[Tuple[str, ProtocolFactory]] = DEFAULT_PROTOCOLS,
+) -> Tuple[FigureResult, ...]:
+    """Delivery ratio vs. number of adversarial nodes, one figure per behavior.
+
+    Adversaries are placed uniformly; sources are filtered to honest nodes
+    (an adversarial *source* would trivially sabotage its own task), but
+    destinations and relays are left alone — routing *through* or *to* a
+    compromised node is exactly the exposure being measured.  Count zero is
+    the benign baseline: the schedule is empty, so the engine runs the
+    adversary-free code path bit-for-bit.
+    """
+    cfg = config or PaperConfig(node_count=400)
+    scl = scale or RobustnessScale()
+    streams = RandomStreams(cfg.master_seed)
+    figures: List[FigureResult] = []
+    for behavior in behaviors:
+        series: Dict[str, List[Tuple[float, float]]] = {n: [] for n, _ in protocols}
+        for count in scl.adversary_counts:
+            sums = {n: 0.0 for n, _ in protocols}
+            for net_index in range(scl.network_count):
+                network = make_network(cfg, net_index)
+                adv_rng = np.random.default_rng(
+                    derive_seed(cfg.master_seed, "adv-place", behavior, net_index, count)
+                )
+                chosen = sorted(
+                    int(x)
+                    for x in adv_rng.choice(
+                        network.node_count, size=count, replace=False
+                    )
+                )
+                schedule = AdversarySchedule(
+                    specs=tuple(
+                        _behavior_spec(behavior, node_id, cfg) for node_id in chosen
+                    ),
+                    seed=derive_seed(
+                        cfg.master_seed, "adv-state", behavior, net_index, count
+                    ),
+                )
+                adversarial = frozenset(chosen)
+                tasks = [
+                    t
+                    for t in generate_tasks(
+                        network,
+                        scl.tasks_per_network * 2,
+                        scl.group_size,
+                        streams.stream("robust-adv", behavior, net_index, count),
+                    )
+                    if t.source_id not in adversarial
+                ][: scl.tasks_per_network]
+                engine = EngineConfig(
+                    max_path_length=cfg.max_path_length, adversary=schedule
+                )
+                for name, factory in protocols:
+                    ratio, _ = _delivery_and_energy(network, factory, tasks, engine)
+                    sums[name] += ratio
+            for name, _ in protocols:
+                series[name].append((float(count), sums[name] / scl.network_count))
+        figures.append(
+            FigureResult(
+                figure_id=f"robust-adv-{behavior}",
+                title=f"Delivery ratio under {behavior} adversaries",
+                x_label="adversarial node count",
+                y_label="delivered / requested",
+                series=series,
+            )
+        )
+    return tuple(figures)

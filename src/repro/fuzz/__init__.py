@@ -1,0 +1,62 @@
+"""Deterministic coverage-driven scenario fuzzer for the GMP reproduction.
+
+The pipeline is generator → executor → results store → autopilot:
+
+* :mod:`repro.fuzz.generator` samples complete scenarios (topology,
+  workload, fault and adversary schedules) from a single root seed;
+* :mod:`repro.fuzz.executor` runs one scenario through the engine next to
+  its benign twin and evaluates the failure oracles of
+  :mod:`repro.fuzz.oracles` — delivery below floor, routing loops,
+  perimeter-mode livelock, and non-termination against the TTL;
+* :mod:`repro.fuzz.shrink` greedily minimizes a failing scenario (fewer
+  adversaries/faults, fewer tasks, smaller groups, fewer nodes) while its
+  oracles keep firing;
+* :mod:`repro.fuzz.store` serializes a campaign into a canonical JSON
+  results store whose bytes (and digest) are a pure function of the root
+  seed, budget and knobs;
+* :mod:`repro.fuzz.autopilot` drives the whole campaign and writes shrunk
+  findings as regression fixtures that ``tests/fuzz`` replays under pytest.
+
+Everything is seeded through :func:`~repro.simkit.rng.derive_seed`: the
+same ``repro fuzz --seed S --budget N`` invocation always produces
+byte-identical stores.
+"""
+
+from repro.fuzz.autopilot import (
+    FuzzFixture,
+    load_fixture,
+    render_fuzz_table,
+    replay_fixture,
+    run_fuzz_campaign,
+    write_fixtures,
+)
+from repro.fuzz.executor import ScenarioOutcome, run_scenario
+from repro.fuzz.generator import (
+    DEFAULT_FUZZ_LIMITS,
+    FuzzLimits,
+    ScenarioSpec,
+    sample_scenario,
+)
+from repro.fuzz.oracles import DEFAULT_ORACLE_CONFIG, OracleConfig, OracleReport
+from repro.fuzz.shrink import shrink_scenario
+from repro.fuzz.store import FuzzResultsStore
+
+__all__ = [
+    "DEFAULT_FUZZ_LIMITS",
+    "DEFAULT_ORACLE_CONFIG",
+    "FuzzFixture",
+    "FuzzLimits",
+    "FuzzResultsStore",
+    "OracleConfig",
+    "OracleReport",
+    "ScenarioOutcome",
+    "ScenarioSpec",
+    "load_fixture",
+    "render_fuzz_table",
+    "replay_fixture",
+    "run_fuzz_campaign",
+    "run_scenario",
+    "sample_scenario",
+    "shrink_scenario",
+    "write_fixtures",
+]

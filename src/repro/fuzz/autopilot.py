@@ -1,0 +1,195 @@
+"""Campaign driver: sample → execute → shrink → store → fixtures.
+
+:func:`run_fuzz_campaign` is the whole fuzzer as one deterministic
+function of ``(root_seed, budget, limits, oracle thresholds)``.  Findings
+are shrunk on the spot and can be written out as JSON regression fixtures;
+``tests/fuzz/test_fixtures.py`` replays every committed fixture and asserts
+the stored oracle verdict still holds, which is how a one-off fuzz finding
+becomes a permanent regression test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.fuzz.executor import ScenarioOutcome, run_scenario
+from repro.fuzz.generator import (
+    DEFAULT_FUZZ_LIMITS,
+    FuzzLimits,
+    ScenarioSpec,
+    sample_scenario,
+)
+from repro.fuzz.oracles import DEFAULT_ORACLE_CONFIG, OracleConfig
+from repro.fuzz.shrink import shrink_scenario
+from repro.fuzz.store import Finding, FuzzResultsStore
+
+#: Fixture format version (bump on any serialization change).
+FIXTURE_VERSION = 1
+
+#: Optional progress sink (one short line per scenario).
+ProgressHook = Callable[[str], None]
+
+
+def run_fuzz_campaign(
+    root_seed: int,
+    budget: int,
+    limits: FuzzLimits = DEFAULT_FUZZ_LIMITS,
+    oracle_config: OracleConfig = DEFAULT_ORACLE_CONFIG,
+    shrink: bool = True,
+    max_shrink_attempts: int = 48,
+    progress: Optional[ProgressHook] = None,
+) -> FuzzResultsStore:
+    """Run ``budget`` scenarios derived from ``root_seed``; shrink findings.
+
+    Deterministic end to end: scenario ``i`` depends only on
+    ``(root_seed, i, limits)``, execution is seeded, and shrinking is a
+    fixed greedy descent — so two invocations with the same arguments
+    produce byte-identical stores (see :meth:`FuzzResultsStore.digest`).
+    """
+    if budget <= 0:
+        raise ValueError(f"campaign budget must be positive, got {budget}")
+    store = FuzzResultsStore(
+        root_seed=root_seed,
+        budget=budget,
+        limits=limits,
+        oracle_config=oracle_config,
+    )
+    for index in range(budget):
+        spec = sample_scenario(root_seed, index, limits)
+        outcome = run_scenario(spec, oracle_config)
+        store.record(outcome)
+        if progress is not None:
+            verdict = ",".join(outcome.failures) if outcome.failures else "ok"
+            progress(f"[{index + 1}/{budget}] {spec.describe()} -> {verdict}")
+        if not outcome.failures:
+            continue
+        shrunk = None
+        if shrink:
+            shrunk = shrink_scenario(
+                spec,
+                outcome.failures,
+                oracle_config,
+                max_attempts=max_shrink_attempts,
+            )
+            if progress is not None:
+                progress(
+                    f"    shrunk to {shrunk.spec.describe()} "
+                    f"({shrunk.attempts} attempts, "
+                    f"{shrunk.accepted_steps} accepted)"
+                )
+        store.record_finding(Finding(index=index, outcome=outcome, shrunk=shrunk))
+    return store
+
+
+def render_fuzz_table(store: FuzzResultsStore) -> str:
+    """Deterministic human-readable campaign report (stdout material)."""
+    lines = [
+        f"fuzz campaign: seed={store.root_seed} budget={store.budget}",
+        "",
+        f"{'#':>4}  {'scenario':<58} {'deliv':>6} {'benign':>6}  verdict",
+    ]
+    for index, outcome in enumerate(store.outcomes):
+        verdict = ",".join(outcome.failures) if outcome.failures else "ok"
+        lines.append(
+            f"{index:>4}  {outcome.spec.describe():<58} "
+            f"{outcome.delivery_ratio:>6.3f} "
+            f"{outcome.benign_delivery_ratio:>6.3f}  {verdict}"
+        )
+    lines.append("")
+    lines.append(
+        f"findings: {store.finding_count} / {len(store.outcomes)} scenarios"
+    )
+    for finding in store.findings:
+        shrunk = finding.shrunk
+        repro = (
+            shrunk.spec.describe() if shrunk is not None else "(not shrunk)"
+        )
+        lines.append(
+            f"  #{finding.index}: {','.join(finding.outcome.failures)}"
+            f" -> {repro}"
+        )
+    lines.append("")
+    lines.append(f"store digest: {store.digest()}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FuzzFixture:
+    """One committed regression fixture: a shrunk spec and its verdict."""
+
+    root_seed: int
+    scenario_index: int
+    spec: ScenarioSpec
+    expected_failures: Tuple[str, ...]
+    oracle_config: OracleConfig
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "version": FIXTURE_VERSION,
+            "root_seed": self.root_seed,
+            "scenario_index": self.scenario_index,
+            "spec": self.spec.to_json_dict(),
+            "expected_failures": list(self.expected_failures),
+            "oracle_config": self.oracle_config.to_json_dict(),
+        }
+
+    @staticmethod
+    def from_json_dict(data: Mapping[str, Any]) -> "FuzzFixture":
+        version = int(data["version"])
+        if version != FIXTURE_VERSION:
+            raise ValueError(
+                f"unsupported fuzz fixture version {version} "
+                f"(this build reads {FIXTURE_VERSION})"
+            )
+        return FuzzFixture(
+            root_seed=int(data["root_seed"]),
+            scenario_index=int(data["scenario_index"]),
+            spec=ScenarioSpec.from_json_dict(data["spec"]),
+            expected_failures=tuple(
+                str(name) for name in data["expected_failures"]
+            ),
+            oracle_config=OracleConfig.from_json_dict(data["oracle_config"]),
+        )
+
+
+def fixture_name(root_seed: int, scenario_index: int) -> str:
+    return f"fuzz_{root_seed}_{scenario_index:04d}.json"
+
+
+def write_fixtures(store: FuzzResultsStore, directory: str) -> List[str]:
+    """Write every shrunk finding as a fixture file; return the paths."""
+    os.makedirs(directory, exist_ok=True)
+    paths: List[str] = []
+    for finding in store.findings:
+        if finding.shrunk is None:
+            continue
+        fixture = FuzzFixture(
+            root_seed=store.root_seed,
+            scenario_index=finding.index,
+            spec=finding.shrunk.spec,
+            expected_failures=finding.shrunk.outcome.failures,
+            oracle_config=store.oracle_config,
+        )
+        path = os.path.join(
+            directory, fixture_name(store.root_seed, finding.index)
+        )
+        payload = json.dumps(fixture.to_json_dict(), sort_keys=True, indent=2)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        paths.append(path)
+    return paths
+
+
+def load_fixture(path: str) -> FuzzFixture:
+    with open(path, "r", encoding="utf-8") as handle:
+        return FuzzFixture.from_json_dict(json.load(handle))
+
+
+def replay_fixture(path: str) -> Tuple[ScenarioOutcome, FuzzFixture]:
+    """Re-run a committed fixture; callers assert the verdict still matches."""
+    fixture = load_fixture(path)
+    outcome = run_scenario(fixture.spec, fixture.oracle_config)
+    return outcome, fixture

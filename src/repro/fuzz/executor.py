@@ -1,0 +1,205 @@
+"""Scenario execution: one spec in, one oracle-judged outcome out.
+
+The executor realizes a :class:`~repro.fuzz.generator.ScenarioSpec` —
+deterministic topology, deterministic workload, engine config with the
+spec's fault and adversary schedules — runs every task with traces on, runs
+the *benign twin* (same topology, same workload, perturbations stripped)
+for the delivery oracle's reference, and evaluates all oracles.
+
+The workload is drawn once per scenario from nodes that are neither failed
+nor adversarial, and both runs execute that identical workload: the
+delivery oracle therefore compares like with like, and a disconnected
+topology (where the twin fails too) never masquerades as a finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.digest import batch_digest
+from repro.engine.runner import EngineConfig, run_task
+from repro.engine.stats import TaskResult
+from repro.fuzz.generator import ScenarioSpec
+from repro.fuzz.oracles import (
+    DEFAULT_ORACLE_CONFIG,
+    OracleConfig,
+    OracleReport,
+    delivery_ratio_of,
+    evaluate_oracles,
+)
+from repro.network.graph import WirelessNetwork, build_network
+from repro.network.radio import RadioConfig
+from repro.network.topology import uniform_random_topology
+from repro.experiments.sweep import build_protocol
+from repro.simkit import SimulationError
+from repro.simkit.rng import derive_seed
+
+#: One multicast task: (task_id, source, destinations).
+ScenarioTask = Tuple[int, int, Tuple[int, ...]]
+
+#: Per-process deployment memo (the shrinker re-runs one topology often).
+_NETWORK_MEMO: Dict[Tuple[int, int, float], WirelessNetwork] = {}
+_NETWORK_MEMO_CAP = 32
+
+
+def build_scenario_network(spec: ScenarioSpec) -> WirelessNetwork:
+    """The spec's deployment: uniform placement on a square field."""
+    key = (spec.seed, spec.node_count, spec.field_size_m)
+    found = _NETWORK_MEMO.get(key)
+    if found is not None:
+        return found
+    rng = np.random.default_rng(derive_seed(spec.seed, "topology"))
+    points = uniform_random_topology(
+        spec.node_count, spec.field_size_m, spec.field_size_m, rng
+    )
+    network = build_network(points, RadioConfig())
+    if len(_NETWORK_MEMO) >= _NETWORK_MEMO_CAP:
+        _NETWORK_MEMO.clear()
+    _NETWORK_MEMO[key] = network
+    return network
+
+
+def scenario_tasks(spec: ScenarioSpec) -> List[ScenarioTask]:
+    """The spec's workload: sources and groups from unperturbed nodes.
+
+    Failed and adversarial nodes are excluded from both roles — adversaries
+    here attack the *infrastructure*, they are not group members — so the
+    benign twin can replay the exact same workload.  Each task draws from
+    its own ``(seed, "workload", task_id)`` stream: shrinking ``task_count``
+    keeps the surviving tasks bit-identical.
+    """
+    excluded = set(spec.failed_node_ids)
+    excluded.update(spec.node_ids_of_adversaries())
+    eligible = np.array(
+        [i for i in range(spec.node_count) if i not in excluded], dtype=np.int64
+    )
+    if len(eligible) < 2:
+        raise ValueError(
+            f"scenario leaves {len(eligible)} unperturbed nodes; need >= 2"
+        )
+    group_size = min(spec.group_size, len(eligible) - 1)
+    tasks: List[ScenarioTask] = []
+    for task_id in range(spec.task_count):
+        rng = np.random.default_rng(
+            derive_seed(spec.seed, "workload", task_id)
+        )
+        picked = rng.choice(eligible, size=group_size + 1, replace=False)
+        source = int(picked[0])
+        destinations = tuple(sorted(int(x) for x in picked[1:]))
+        tasks.append((task_id, source, destinations))
+    return tasks
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """One executed scenario: measurements, verdicts, and a digest.
+
+    ``results_digest`` is the engine's batch digest over the adversarial
+    run's task results (traces included): two executions of the same spec
+    must agree byte for byte, which is what the campaign store's own
+    digest — and the CI double-run diff — ultimately rests on.
+    """
+
+    spec: ScenarioSpec
+    delivery_ratio: float
+    benign_delivery_ratio: float
+    reports: Tuple[OracleReport, ...]
+    errors: Tuple[str, ...]
+    results_digest: str
+
+    @property
+    def failures(self) -> Tuple[str, ...]:
+        """Names of the oracles that fired, in stable report order."""
+        return tuple(r.name for r in self.reports if r.triggered)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec.to_json_dict(),
+            "delivery_ratio": self.delivery_ratio,
+            "benign_delivery_ratio": self.benign_delivery_ratio,
+            "reports": [r.to_json_dict() for r in self.reports],
+            "errors": list(self.errors),
+            "results_digest": self.results_digest,
+        }
+
+    @staticmethod
+    def from_json_dict(data: Mapping[str, Any]) -> "ScenarioOutcome":
+        return ScenarioOutcome(
+            spec=ScenarioSpec.from_json_dict(data["spec"]),
+            delivery_ratio=float(data["delivery_ratio"]),
+            benign_delivery_ratio=float(data["benign_delivery_ratio"]),
+            reports=tuple(
+                OracleReport.from_json_dict(item) for item in data["reports"]
+            ),
+            errors=tuple(str(e) for e in data["errors"]),
+            results_digest=str(data["results_digest"]),
+        )
+
+
+def _engine_config(spec: ScenarioSpec) -> EngineConfig:
+    return EngineConfig(
+        max_path_length=spec.max_path_length,
+        transmission_model=spec.transmission_model,
+        link_loss_rate=spec.link_loss_rate,
+        loss_seed=derive_seed(spec.seed, "loss"),
+        failed_node_ids=frozenset(spec.failed_node_ids),
+        collect_traces=True,
+        adversary=spec.adversary_schedule,
+    )
+
+
+def _execute(
+    network: WirelessNetwork,
+    spec: ScenarioSpec,
+    tasks: Sequence[ScenarioTask],
+) -> Tuple[List[TaskResult], List[str]]:
+    """Run the workload under the spec's config, isolating engine blowups."""
+    config = _engine_config(spec)
+    results: List[TaskResult] = []
+    errors: List[str] = []
+    for task_id, source, destinations in tasks:
+        protocol = build_protocol((spec.protocol,))
+        try:
+            results.append(
+                run_task(
+                    network,
+                    protocol,
+                    source,
+                    destinations,
+                    config=config,
+                    task_id=task_id,
+                )
+            )
+        except SimulationError as error:
+            errors.append(f"task {task_id}: {error}")
+    return results, errors
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    oracle_config: OracleConfig = DEFAULT_ORACLE_CONFIG,
+) -> ScenarioOutcome:
+    """Execute ``spec`` and its benign twin; judge it with every oracle."""
+    network = build_scenario_network(spec)
+    tasks = scenario_tasks(spec)
+    results, errors = _execute(network, spec, tasks)
+    twin = spec.benign_twin()
+    if twin == spec:
+        benign_results, benign_errors = results, errors
+    else:
+        benign_results, benign_errors = _execute(network, twin, tasks)
+    benign_ratio = delivery_ratio_of(benign_results)
+    all_errors = list(errors)
+    all_errors.extend(f"benign {e}" for e in benign_errors if e not in errors)
+    reports = evaluate_oracles(results, benign_ratio, all_errors, oracle_config)
+    return ScenarioOutcome(
+        spec=spec,
+        delivery_ratio=delivery_ratio_of(results),
+        benign_delivery_ratio=benign_ratio,
+        reports=reports,
+        errors=tuple(all_errors),
+        results_digest=batch_digest(results),
+    )

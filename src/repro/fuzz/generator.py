@@ -1,0 +1,310 @@
+"""Scenario sampling: one root seed fans out into complete test scenarios.
+
+A :class:`ScenarioSpec` is everything needed to reproduce one fuzz case —
+deployment, protocol, workload, fault and adversary schedules — as plain
+JSON-round-trippable data.  :func:`sample_scenario` derives scenario ``i``
+of a campaign from ``derive_seed(root_seed, "fuzz-scenario", i)`` alone, so
+scenarios are independent of each other and of the budget: growing a
+campaign appends scenarios without perturbing earlier ones.
+
+The sampling ranges live in :class:`FuzzLimits`.  The defaults deliberately
+skew *sparse*: on a 1000 m field with a 150 m radio, 110–230 nodes produce
+mean degrees around 8–16 — dense enough to be mostly connected, sparse
+enough that geometric voids (and therefore perimeter routing, the paper's
+recovery path and the fuzzer's richest bug surface) actually occur.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.adversary.schedule import (
+    DROPPER,
+    JAMMER,
+    SPOOFER,
+    SUPPRESSOR,
+    AdversarySchedule,
+    AdversarySpec,
+)
+from repro.simkit.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class FuzzLimits:
+    """Sampling ranges of one campaign (repeated entries skew the odds)."""
+
+    node_counts: Tuple[int, ...] = (110, 140, 180, 230)
+    field_sizes_m: Tuple[float, ...] = (800.0, 1000.0)
+    group_sizes: Tuple[int, ...] = (2, 3, 5, 8, 12)
+    task_counts: Tuple[int, ...] = (1, 2, 3)
+    protocols: Tuple[str, ...] = ("GMP", "LGS", "GRD")
+    loss_rates: Tuple[float, ...] = (0.0, 0.0, 0.1, 0.3)
+    failure_fractions: Tuple[float, ...] = (0.0, 0.0, 0.05, 0.1)
+    adversary_counts: Tuple[int, ...] = (0, 1, 1, 2, 3)
+    behaviors: Tuple[str, ...] = (DROPPER, SPOOFER, SUPPRESSOR)
+    #: Probability a scenario runs on the contended CSMA/ARQ link layer
+    #: (slower, so a minority of the budget) — which also unlocks jammers.
+    contended_fraction: float = 0.15
+    #: Contended scenarios are capped at this many nodes to stay fast.
+    contended_node_cap: int = 140
+    max_path_length: int = 100
+
+    def __post_init__(self) -> None:
+        for name in (
+            "node_counts",
+            "field_sizes_m",
+            "group_sizes",
+            "task_counts",
+            "protocols",
+            "loss_rates",
+            "failure_fractions",
+            "adversary_counts",
+            "behaviors",
+        ):
+            if not getattr(self, name):
+                raise ValueError(f"fuzz limits field {name!r} must be non-empty")
+        if not 0.0 <= self.contended_fraction <= 1.0:
+            raise ValueError(
+                f"contended fraction must be in [0, 1], got {self.contended_fraction}"
+            )
+        if self.max_path_length <= 0:
+            raise ValueError(
+                f"max path length must be positive, got {self.max_path_length}"
+            )
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "node_counts": list(self.node_counts),
+            "field_sizes_m": list(self.field_sizes_m),
+            "group_sizes": list(self.group_sizes),
+            "task_counts": list(self.task_counts),
+            "protocols": list(self.protocols),
+            "loss_rates": list(self.loss_rates),
+            "failure_fractions": list(self.failure_fractions),
+            "adversary_counts": list(self.adversary_counts),
+            "behaviors": list(self.behaviors),
+            "contended_fraction": self.contended_fraction,
+            "contended_node_cap": self.contended_node_cap,
+            "max_path_length": self.max_path_length,
+        }
+
+
+#: Shared immutable default ranges.
+DEFAULT_FUZZ_LIMITS = FuzzLimits()
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete, self-describing fuzz case.
+
+    ``seed`` alone determines the deployment, the workload draws, the loss
+    process, and every adversary's random choices; the remaining fields are
+    the sampled shape.  Specs round-trip exactly through JSON, which is
+    what makes shrunk repros committable as regression fixtures.
+    """
+
+    seed: int
+    node_count: int
+    field_size_m: float
+    protocol: str
+    transmission_model: str
+    task_count: int
+    group_size: int
+    link_loss_rate: float
+    failed_node_ids: Tuple[int, ...] = ()
+    adversaries: Tuple[AdversarySpec, ...] = ()
+    max_path_length: int = 100
+
+    def __post_init__(self) -> None:
+        if self.node_count < 2:
+            raise ValueError(f"need at least 2 nodes, got {self.node_count}")
+        if self.field_size_m <= 0.0:
+            raise ValueError(f"field size must be positive, got {self.field_size_m}")
+        if self.transmission_model not in ("protocol", "contended"):
+            raise ValueError(
+                f"unknown scenario transmission model {self.transmission_model!r}"
+            )
+        if self.task_count <= 0:
+            raise ValueError(f"task count must be positive, got {self.task_count}")
+        if not 1 <= self.group_size < self.node_count:
+            raise ValueError(
+                f"group size must be in [1, node_count), got {self.group_size}"
+            )
+        if not 0.0 <= self.link_loss_rate < 1.0:
+            raise ValueError(
+                f"loss rate must be in [0, 1), got {self.link_loss_rate}"
+            )
+        ordered_failed = tuple(sorted(set(self.failed_node_ids)))
+        if ordered_failed != self.failed_node_ids:
+            object.__setattr__(self, "failed_node_ids", ordered_failed)
+
+    def node_ids_of_adversaries(self) -> Tuple[int, ...]:
+        return tuple(spec.node_id for spec in self.adversaries)
+
+    @property
+    def adversary_schedule(self) -> AdversarySchedule:
+        """The spec's cast as an engine-ready schedule (seeded off ``seed``)."""
+        return AdversarySchedule(
+            specs=self.adversaries, seed=derive_seed(self.seed, "adv")
+        )
+
+    def describe(self) -> str:
+        """One-line label for tables and progress output."""
+        parts = [
+            f"n={self.node_count}",
+            self.protocol,
+            f"k={self.group_size}",
+            f"tasks={self.task_count}",
+        ]
+        if self.transmission_model != "protocol":
+            parts.append(self.transmission_model)
+        if self.link_loss_rate > 0.0:
+            parts.append(f"loss={self.link_loss_rate:g}")
+        if self.failed_node_ids:
+            parts.append(f"failed={len(self.failed_node_ids)}")
+        if self.adversaries:
+            parts.append(
+                "adv="
+                + ",".join(
+                    f"{spec.behavior}@{spec.node_id}" for spec in self.adversaries
+                )
+            )
+        return " ".join(parts)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "node_count": self.node_count,
+            "field_size_m": self.field_size_m,
+            "protocol": self.protocol,
+            "transmission_model": self.transmission_model,
+            "task_count": self.task_count,
+            "group_size": self.group_size,
+            "link_loss_rate": self.link_loss_rate,
+            "failed_node_ids": list(self.failed_node_ids),
+            "adversaries": [spec.to_json_dict() for spec in self.adversaries],
+            "max_path_length": self.max_path_length,
+        }
+
+    @staticmethod
+    def from_json_dict(data: Mapping[str, Any]) -> "ScenarioSpec":
+        return ScenarioSpec(
+            seed=int(data["seed"]),
+            node_count=int(data["node_count"]),
+            field_size_m=float(data["field_size_m"]),
+            protocol=str(data["protocol"]),
+            transmission_model=str(data["transmission_model"]),
+            task_count=int(data["task_count"]),
+            group_size=int(data["group_size"]),
+            link_loss_rate=float(data["link_loss_rate"]),
+            failed_node_ids=tuple(int(n) for n in data["failed_node_ids"]),
+            adversaries=tuple(
+                AdversarySpec.from_json_dict(item) for item in data["adversaries"]
+            ),
+            max_path_length=int(data["max_path_length"]),
+        )
+
+    def benign_twin(self) -> "ScenarioSpec":
+        """The same scenario with every perturbation stripped.
+
+        The executor runs the twin next to the real case: the delivery
+        oracle only fires when the *benign* world delivers (so a sparse
+        disconnected topology is not mistaken for an adversary win).
+        """
+        return replace(
+            self,
+            link_loss_rate=0.0,
+            failed_node_ids=(),
+            adversaries=(),
+        )
+
+
+def _pick(rng: np.random.Generator, options: Sequence[Any]) -> Any:
+    return options[int(rng.integers(0, len(options)))]
+
+
+def _sample_distinct(
+    rng: np.random.Generator, pool: Sequence[int], count: int
+) -> List[int]:
+    """``count`` distinct draws from ``pool``, sorted ascending."""
+    if count >= len(pool):
+        return sorted(pool)
+    picked = rng.choice(np.asarray(pool, dtype=np.int64), size=count, replace=False)
+    return sorted(int(x) for x in picked)
+
+
+def sample_scenario(
+    root_seed: int,
+    index: int,
+    limits: FuzzLimits = DEFAULT_FUZZ_LIMITS,
+) -> ScenarioSpec:
+    """Deterministically sample campaign scenario ``index``.
+
+    Draw order is fixed, and every scenario owns a fresh generator derived
+    from ``(root_seed, index)``, so changing the budget or the order of
+    execution can never change what any scenario contains.
+    """
+    seed = derive_seed(root_seed, "fuzz-scenario", index)
+    rng = np.random.default_rng(seed)
+    node_count = int(_pick(rng, limits.node_counts))
+    field_size = float(_pick(rng, limits.field_sizes_m))
+    protocol = str(_pick(rng, limits.protocols))
+    contended = (
+        bool(rng.random() < limits.contended_fraction)
+        and node_count <= limits.contended_node_cap
+    )
+    group_size = min(int(_pick(rng, limits.group_sizes)), node_count - 1)
+    task_count = int(_pick(rng, limits.task_counts))
+    loss_rate = float(_pick(rng, limits.loss_rates))
+    failure_fraction = float(_pick(rng, limits.failure_fractions))
+    failed_count = int(round(failure_fraction * node_count))
+    failed = _sample_distinct(rng, range(node_count), failed_count)
+
+    adversary_count = int(_pick(rng, limits.adversary_counts))
+    behaviors = limits.behaviors + ((JAMMER,) if contended else ())
+    candidates = [i for i in range(node_count) if i not in set(failed)]
+    adversary_nodes = _sample_distinct(rng, candidates, adversary_count)
+    specs = []
+    for node_id in adversary_nodes:
+        behavior = str(_pick(rng, behaviors))
+        if behavior == DROPPER:
+            drop_rate = float(_pick(rng, (1.0, 1.0, 0.5)))
+            targets: Tuple[int, ...] = ()
+            if rng.random() < 0.3:
+                targets = tuple(_sample_distinct(rng, range(node_count), 2))
+            specs.append(
+                AdversarySpec(
+                    node_id,
+                    DROPPER,
+                    drop_rate=drop_rate,
+                    target_destinations=targets,
+                )
+            )
+        elif behavior == SPOOFER:
+            offset = field_size * float(_pick(rng, (0.2, 0.4)))
+            specs.append(AdversarySpec(node_id, SPOOFER, spoof_offset_m=offset))
+        elif behavior == SUPPRESSOR:
+            specs.append(AdversarySpec(node_id, SUPPRESSOR))
+        else:
+            specs.append(
+                AdversarySpec(
+                    node_id, JAMMER, jam_duty=float(_pick(rng, (0.5, 0.9)))
+                )
+            )
+
+    return ScenarioSpec(
+        seed=seed,
+        node_count=node_count,
+        field_size_m=field_size,
+        protocol=protocol,
+        transmission_model="contended" if contended else "protocol",
+        task_count=task_count,
+        group_size=group_size,
+        link_loss_rate=loss_rate,
+        failed_node_ids=tuple(failed),
+        adversaries=tuple(specs),
+        max_path_length=limits.max_path_length,
+    )

@@ -1,0 +1,198 @@
+"""Failure oracles: what counts as a finding.
+
+Each oracle is a pure function of one executed scenario — the adversarial
+run's task results (with traces), the benign twin's delivery ratio, and any
+engine errors.  Thresholds live in :class:`OracleConfig` so experiments can
+tighten or relax them without touching detection logic.
+
+Oracles (names are stable identifiers — fixtures pin them):
+
+``delivery_below_floor``
+    The benign twin delivers (so the topology itself is fine) but the
+    perturbed run's delivery ratio falls below the floor: the injected
+    faults/adversaries actually broke multicast delivery.
+``routing_loop``
+    Some node received the *same* packet state (destination set and
+    routing mode) over and over within one task — the signature of a
+    forwarding cycle, e.g. perimeter routing around spoofed geometry.
+``perimeter_livelock``
+    A task burned an outsized number of perimeter-mode transmissions and
+    still failed: recovery mode circled without making progress until the
+    TTL bled the packet dry.
+``non_termination``
+    The engine's event budget tripped (:class:`~repro.simkit.SimulationError`)
+    — the task would not quiesce against the TTL at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Sequence, Tuple
+
+from repro.engine.stats import TaskResult
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """Detection thresholds (defaults tuned on the default fuzz limits)."""
+
+    #: The perturbed run is a finding when it delivers less than this…
+    delivery_floor: float = 0.6
+    #: …while the benign twin delivers at least this much.
+    benign_reference: float = 0.95
+    #: Same (receiver, destinations, mode) delivered this often = a loop.
+    loop_repeats: int = 4
+    #: Perimeter copies in one *failed* task marking a livelock.
+    livelock_min_copies: int = 96
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.delivery_floor <= 1.0:
+            raise ValueError(
+                f"delivery floor must be in (0, 1], got {self.delivery_floor}"
+            )
+        if not 0.0 < self.benign_reference <= 1.0:
+            raise ValueError(
+                f"benign reference must be in (0, 1], got {self.benign_reference}"
+            )
+        if self.loop_repeats < 2:
+            raise ValueError(f"loop repeats must be >= 2, got {self.loop_repeats}")
+        if self.livelock_min_copies < 1:
+            raise ValueError(
+                f"livelock copies must be >= 1, got {self.livelock_min_copies}"
+            )
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "delivery_floor": self.delivery_floor,
+            "benign_reference": self.benign_reference,
+            "loop_repeats": self.loop_repeats,
+            "livelock_min_copies": self.livelock_min_copies,
+        }
+
+    @staticmethod
+    def from_json_dict(data: Mapping[str, Any]) -> "OracleConfig":
+        return OracleConfig(
+            delivery_floor=float(data["delivery_floor"]),
+            benign_reference=float(data["benign_reference"]),
+            loop_repeats=int(data["loop_repeats"]),
+            livelock_min_copies=int(data["livelock_min_copies"]),
+        )
+
+
+#: Shared immutable default thresholds.
+DEFAULT_ORACLE_CONFIG = OracleConfig()
+
+
+@dataclass(frozen=True)
+class OracleReport:
+    """One oracle's verdict on one scenario."""
+
+    name: str
+    triggered: bool
+    detail: str
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "triggered": self.triggered, "detail": self.detail}
+
+    @staticmethod
+    def from_json_dict(data: Mapping[str, Any]) -> "OracleReport":
+        return OracleReport(
+            name=str(data["name"]),
+            triggered=bool(data["triggered"]),
+            detail=str(data["detail"]),
+        )
+
+
+def delivery_ratio_of(results: Sequence[TaskResult]) -> float:
+    """Delivered / requested destinations over a batch (1.0 when empty)."""
+    requested = sum(len(r.destination_ids) for r in results)
+    delivered = sum(len(r.delivered_hops) for r in results)
+    return delivered / requested if requested else 1.0
+
+
+def _loop_evidence(result: TaskResult) -> Tuple[int, int]:
+    """Worst repeat count of one packet state and the node it looped at."""
+    if result.trace is None:
+        return 0, -1
+    counts: Dict[Tuple[int, Tuple[int, ...], bool], int] = {}
+    for frame in result.trace.frames:
+        for copy in frame.copies:
+            if copy.lost:
+                continue
+            key = (copy.receiver_id, copy.destination_ids, copy.in_perimeter_mode)
+            counts[key] = counts.get(key, 0) + 1
+    if not counts:
+        return 0, -1
+    worst_key = max(counts, key=lambda k: (counts[k], k))
+    return counts[worst_key], worst_key[0]
+
+
+def _perimeter_copies(result: TaskResult) -> int:
+    if result.trace is None:
+        return 0
+    return sum(
+        1
+        for frame in result.trace.frames
+        for copy in frame.copies
+        if copy.in_perimeter_mode
+    )
+
+
+def evaluate_oracles(
+    results: Sequence[TaskResult],
+    benign_delivery_ratio: float,
+    engine_errors: Sequence[str],
+    config: OracleConfig = DEFAULT_ORACLE_CONFIG,
+) -> Tuple[OracleReport, ...]:
+    """All four oracle verdicts for one executed scenario, in stable order."""
+    ratio = delivery_ratio_of(results)
+    delivery_triggered = (
+        benign_delivery_ratio >= config.benign_reference
+        and ratio < config.delivery_floor
+    )
+    delivery = OracleReport(
+        name="delivery_below_floor",
+        triggered=delivery_triggered,
+        detail=(
+            f"delivered {ratio:.3f} vs benign {benign_delivery_ratio:.3f} "
+            f"(floor {config.delivery_floor:g})"
+        ),
+    )
+
+    worst_repeats, loop_node = 0, -1
+    for result in results:
+        repeats, node = _loop_evidence(result)
+        if repeats > worst_repeats:
+            worst_repeats, loop_node = repeats, node
+    loop = OracleReport(
+        name="routing_loop",
+        triggered=worst_repeats >= config.loop_repeats,
+        detail=(
+            f"same packet state delivered {worst_repeats}x at node {loop_node}"
+            if worst_repeats >= config.loop_repeats
+            else f"max packet-state repeats {worst_repeats}"
+        ),
+    )
+
+    livelock_copies, livelock_task = 0, -1
+    for result in results:
+        copies = _perimeter_copies(result)
+        if not result.success and copies > livelock_copies:
+            livelock_copies, livelock_task = copies, result.task_id
+    livelock = OracleReport(
+        name="perimeter_livelock",
+        triggered=livelock_copies >= config.livelock_min_copies,
+        detail=(
+            f"{livelock_copies} perimeter copies in failed task {livelock_task}"
+            if livelock_copies >= config.livelock_min_copies
+            else f"max perimeter copies in a failed task: {livelock_copies}"
+        ),
+    )
+
+    non_termination = OracleReport(
+        name="non_termination",
+        triggered=bool(engine_errors),
+        detail="; ".join(engine_errors) if engine_errors else "all tasks quiesced",
+    )
+
+    return (delivery, loop, livelock, non_termination)

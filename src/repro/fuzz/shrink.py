@@ -1,0 +1,163 @@
+"""Greedy deterministic shrinking of failing scenarios.
+
+Given a scenario whose oracles fired, try progressively smaller variants —
+fewer adversaries, no injected loss, fewer failed nodes, fewer tasks,
+smaller groups, fewer nodes — and keep a variant only if *all* of the
+original finding's oracles still fire on it.  The passes and their order
+are fixed, every candidate is evaluated by the same deterministic executor,
+and the loop restarts after each accepted step, so the same failing input
+always shrinks to the same minimal repro.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.fuzz.executor import ScenarioOutcome, run_scenario
+from repro.fuzz.generator import ScenarioSpec
+from repro.fuzz.oracles import DEFAULT_ORACLE_CONFIG, OracleConfig
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """A minimized failing scenario and the work it took."""
+
+    spec: ScenarioSpec
+    outcome: ScenarioOutcome
+    attempts: int
+    accepted_steps: int
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "outcome": self.outcome.to_json_dict(),
+            "attempts": self.attempts,
+            "accepted_steps": self.accepted_steps,
+        }
+
+
+def _size_of(spec: ScenarioSpec) -> Tuple[int, ...]:
+    """Lexicographic "cost" a shrink step must strictly reduce."""
+    return (
+        spec.node_count,
+        spec.task_count,
+        spec.group_size,
+        len(spec.adversaries),
+        len(spec.failed_node_ids),
+        1 if spec.link_loss_rate > 0.0 else 0,
+    )
+
+
+def _candidates(spec: ScenarioSpec) -> Iterator[ScenarioSpec]:
+    """Smaller variants to try, cheapest-first.
+
+    Order matters for determinism *and* effectiveness: stripping whole
+    perturbations (adversaries, loss, failures) first usually isolates the
+    one mechanism behind a finding before the structural passes (tasks,
+    group, nodes) trim the stage it plays out on.
+    """
+    for spec_to_drop in spec.adversaries:
+        yield replace(
+            spec,
+            adversaries=tuple(
+                a for a in spec.adversaries if a.node_id != spec_to_drop.node_id
+            ),
+        )
+    if spec.link_loss_rate > 0.0:
+        yield replace(spec, link_loss_rate=0.0)
+    if spec.failed_node_ids:
+        yield replace(spec, failed_node_ids=())
+        half = len(spec.failed_node_ids) // 2
+        if half:
+            yield replace(spec, failed_node_ids=spec.failed_node_ids[:half])
+    for count in range(1, spec.task_count):
+        yield replace(spec, task_count=count)
+    k = spec.group_size // 2
+    while k >= 1:
+        yield replace(spec, group_size=k)
+        k //= 2
+    if spec.group_size > 1:
+        yield replace(spec, group_size=spec.group_size - 1)
+    floor = _node_floor(spec)
+    for factor in (0.5, 0.75, 0.9):
+        smaller = int(spec.node_count * factor)
+        if floor <= smaller < spec.node_count:
+            yield _with_node_count(spec, smaller)
+
+
+def _node_floor(spec: ScenarioSpec) -> int:
+    """Smallest node count that keeps every referenced id addressable."""
+    referenced = [spec.group_size + 1]
+    for node_id in spec.failed_node_ids:
+        referenced.append(node_id + 1)
+    for adversary in spec.adversaries:
+        referenced.append(adversary.node_id + 1)
+        for target in adversary.target_destinations:
+            referenced.append(target + 1)
+    return max(max(referenced) + 1, 2)
+
+
+def _with_node_count(spec: ScenarioSpec, node_count: int) -> ScenarioSpec:
+    return replace(spec, node_count=node_count)
+
+
+def _still_fails(
+    candidate: ScenarioSpec,
+    expected: FrozenSet[str],
+    oracle_config: OracleConfig,
+) -> Optional[ScenarioOutcome]:
+    outcome = run_scenario(candidate, oracle_config)
+    if expected.issubset(set(outcome.failures)):
+        return outcome
+    return None
+
+
+def shrink_scenario(
+    spec: ScenarioSpec,
+    expected_failures: Tuple[str, ...],
+    oracle_config: OracleConfig = DEFAULT_ORACLE_CONFIG,
+    max_attempts: int = 64,
+) -> ShrinkResult:
+    """Minimize ``spec`` while every oracle in ``expected_failures`` fires.
+
+    Greedy first-improvement descent over :func:`_candidates`, restarted
+    after every accepted step, bounded by ``max_attempts`` scenario
+    executions.  Returns the smallest accepted variant (possibly the
+    original) together with its outcome.
+    """
+    if not expected_failures:
+        raise ValueError("shrinking needs at least one expected oracle")
+    expected = frozenset(expected_failures)
+    current = spec
+    current_outcome = run_scenario(current, oracle_config)
+    if not expected.issubset(set(current_outcome.failures)):
+        raise ValueError(
+            f"scenario does not fail with {sorted(expected)}; "
+            f"observed {list(current_outcome.failures)}"
+        )
+    attempts = 0
+    accepted = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _candidates(current):
+            if attempts >= max_attempts:
+                break
+            if _size_of(candidate) >= _size_of(current):
+                continue
+            attempts += 1
+            try:
+                outcome = _still_fails(candidate, expected, oracle_config)
+            except ValueError:
+                continue  # candidate became structurally invalid; skip it
+            if outcome is not None:
+                current, current_outcome = candidate, outcome
+                accepted += 1
+                improved = True
+                break
+    return ShrinkResult(
+        spec=current,
+        outcome=current_outcome,
+        attempts=attempts,
+        accepted_steps=accepted,
+    )

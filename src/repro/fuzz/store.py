@@ -1,0 +1,91 @@
+"""Canonical campaign results store.
+
+One :class:`FuzzResultsStore` is the complete record of one campaign: the
+root seed and knobs that define it, every scenario's outcome in index
+order, and every finding with its shrunk repro.  Serialization is
+canonical — sorted keys, fixed indentation, no timestamps, no paths — so
+the bytes (and the store digest derived from them) are a pure function of
+``(root_seed, budget, limits, oracle thresholds)``.  That is the contract
+CI leans on: running the same campaign twice must produce identical files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.fuzz.executor import ScenarioOutcome
+from repro.fuzz.generator import FuzzLimits
+from repro.fuzz.oracles import OracleConfig
+from repro.fuzz.shrink import ShrinkResult
+
+#: Store format version (bump on any serialization change).
+STORE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One triggered scenario and (when shrinking ran) its minimal repro."""
+
+    index: int
+    outcome: ScenarioOutcome
+    shrunk: "ShrinkResult | None" = None
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "index": self.index,
+            "failures": list(self.outcome.failures),
+            "outcome": self.outcome.to_json_dict(),
+        }
+        if self.shrunk is not None:
+            data["shrunk"] = self.shrunk.to_json_dict()
+        return data
+
+
+@dataclass
+class FuzzResultsStore:
+    """Everything one campaign produced, in canonical serializable form."""
+
+    root_seed: int
+    budget: int
+    limits: FuzzLimits
+    oracle_config: OracleConfig
+    outcomes: List[ScenarioOutcome] = field(default_factory=list)
+    findings: List[Finding] = field(default_factory=list)
+
+    def record(self, outcome: ScenarioOutcome) -> None:
+        self.outcomes.append(outcome)
+
+    def record_finding(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    @property
+    def finding_count(self) -> int:
+        return len(self.findings)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "version": STORE_VERSION,
+            "root_seed": self.root_seed,
+            "budget": self.budget,
+            "limits": self.limits.to_json_dict(),
+            "oracle_config": self.oracle_config.to_json_dict(),
+            "outcomes": [outcome.to_json_dict() for outcome in self.outcomes],
+            "findings": [finding.to_json_dict() for finding in self.findings],
+        }
+
+    def canonical_bytes(self) -> bytes:
+        """The store's one true serialization (sorted keys, fixed layout)."""
+        return (
+            json.dumps(self.to_json_dict(), sort_keys=True, indent=2) + "\n"
+        ).encode("utf-8")
+
+    def digest(self) -> str:
+        """SHA-256 over :meth:`canonical_bytes` — the campaign's identity."""
+        return hashlib.sha256(self.canonical_bytes()).hexdigest()
+
+    def save(self, path: str) -> None:
+        with open(path, "wb") as handle:
+            handle.write(self.canonical_bytes())

@@ -1,10 +1,11 @@
 """Link-layer frames: what actually occupies the channel.
 
-Three frame kinds share the air.  ``DATA`` frames carry one or more routed
+Four frame kinds share the air.  ``DATA`` frames carry one or more routed
 packet copies (one per addressed receiver — the engine's copy-aggregation
 semantics decide how many copies ride one frame); ``ACK`` frames are the
 per-copy acknowledgements of the ARQ machinery; ``BEACON`` frames are the
-HELLO broadcasts feeding the neighbor/location tables.
+HELLO broadcasts feeding the neighbor/location tables; ``JAM`` frames are
+adversarial junk that only exists to keep the channel busy.
 
 Every copy carries a link-layer unique id (:attr:`FrameCopy.copy_uid`)
 assigned once when the copy is first queued and preserved across
@@ -24,6 +25,10 @@ from repro.packets import MulticastPacket
 DATA = "data"
 ACK = "ack"
 BEACON = "beacon"
+#: Junk traffic keyed by a jamming adversary: occupies the air (deferring
+#: carrier-sensing senders, colliding receptions) but carries no copies and
+#: is never delivered or acknowledged.
+JAM = "jam"
 
 
 @dataclass
@@ -45,7 +50,7 @@ class Frame:
     """One transmission's worth of bits.
 
     Attributes:
-        kind: ``DATA`` / ``ACK`` / ``BEACON``.
+        kind: ``DATA`` / ``ACK`` / ``BEACON`` / ``JAM``.
         sender_id: Transmitting node.
         size_bytes: On-air size (drives airtime and energy).
         session_id: Owning multicast session for DATA/ACK (``None`` for
@@ -67,7 +72,7 @@ class Frame:
     ack_target_id: int = -1
 
     def __post_init__(self) -> None:
-        if self.kind not in (DATA, ACK, BEACON):
+        if self.kind not in (DATA, ACK, BEACON, JAM):
             raise ValueError(f"unknown frame kind {self.kind!r}")
         if self.size_bytes <= 0:
             raise ValueError(f"frame size must be positive, got {self.size_bytes}")

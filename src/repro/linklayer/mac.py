@@ -48,9 +48,10 @@ from typing import (
 
 import numpy as np
 
+from repro.geometry import Point
 from repro.linklayer.channel import Channel, Transmission
 from repro.linklayer.config import LinkLayerConfig
-from repro.linklayer.frame import ACK, BEACON, DATA, Frame, FrameCopy
+from repro.linklayer.frame import ACK, BEACON, DATA, JAM, Frame, FrameCopy
 from repro.linklayer.neighbors import BeaconService
 from repro.linklayer.stats import LinkStats
 from repro.network.graph import WirelessNetwork
@@ -184,6 +185,8 @@ class LinkLayer:
         charge: ChargeHook,
         copy_loss: LossHook,
         on_frame: Optional[FrameHook] = None,
+        advertised_location: Optional[Callable[[int], Point]] = None,
+        beacon_silenced: FrozenSet[int] = frozenset(),
     ) -> None:
         self._network = network
         self.simulator = simulator
@@ -193,6 +196,12 @@ class LinkLayer:
         self._charge = charge
         self._copy_loss = copy_loss
         self._on_frame = on_frame
+        # Adversary seams: where a node *claims* to be in its HELLOs (a
+        # location spoofer lies here) and which nodes never beacon at all
+        # (suppressors).  Plain data/callables so the linklayer stays as
+        # ignorant of the adversary package as it is of the engine.
+        self._advertised = advertised_location or network.location_of
+        self._silenced = beacon_silenced
         self.stats = LinkStats()
         self.channel = Channel(network, config.carrier_sense_factor)
         self._macs: List[NodeMac] = [
@@ -201,7 +210,13 @@ class LinkLayer:
         ]
         self._beacon_streams = streams
         self._beacon_service: Optional[BeaconService] = (
-            BeaconService(network, config.beacon_expiry_s, config.warm_start)
+            BeaconService(
+                network,
+                config.beacon_expiry_s,
+                config.warm_start,
+                advertised_location=advertised_location,
+                silenced=beacon_silenced,
+            )
             if config.beacons
             else None
         )
@@ -259,7 +274,7 @@ class LinkLayer:
         if self._beacon_service is None:
             return
         for node_id in range(self._network.node_count):
-            if node_id in self._failed:
+            if node_id in self._failed or node_id in self._silenced:
                 continue
             rng = self._beacon_streams.stream("beacon", node_id)
             first = float(rng.uniform(0.0, self.config.beacon_period_s))
@@ -269,6 +284,30 @@ class LinkLayer:
                     self._beacon_tick(node_id, horizon_s),
                     label=f"beacon@{node_id}",
                 )
+
+    def jam(self, node_id: int, on_air_s: float, size_bytes: int) -> None:
+        """Key one junk frame at ``node_id`` for ``on_air_s`` seconds, now.
+
+        Jammers do not play CSMA: the frame skips the MAC queue and goes
+        straight on the air, deferring every carrier-sensing sender in
+        range and colliding any overlapping reception.  Energy is charged
+        to the infrastructure meter from ``size_bytes`` (the airtime knob
+        is independent, so a jammer can hold the channel longer than its
+        frame's nominal bits).
+        """
+        if on_air_s <= 0.0:
+            raise ValueError(f"jam airtime must be positive, got {on_air_s}")
+        frame = Frame(kind=JAM, sender_id=node_id, size_bytes=size_bytes)
+        tx = self.channel.begin(frame, self.simulator.now, on_air_s)
+        self._charge(None, node_id, size_bytes, False)
+        self.stats.bump_adv("jam_frames")
+        if self._on_frame is not None:
+            self._on_frame(None, JAM, node_id, tx.start_s, 0, ())
+        self.simulator.schedule_after(
+            on_air_s,
+            lambda: self.channel.finish(tx),
+            label=f"jam-end@{node_id}",
+        )
 
     # ------------------------------------------------------- transmit path
 
@@ -450,7 +489,7 @@ class LinkLayer:
         service = self._beacon_service
         assert service is not None  # beacon jobs only exist when beaconing
         sender = mac.node_id
-        location = self._network.location_of(sender)
+        location = self._advertised(sender)
         if self._on_frame is not None:
             self._on_frame(None, BEACON, sender, tx.start_s, 0, ())
         for listener in self._network.listeners_of(sender):

@@ -19,7 +19,7 @@ delivery set reproduce the default model's exactly in that regime.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np
 
@@ -133,11 +133,19 @@ class BeaconService:
         network: WirelessNetwork,
         expiry_s: float,
         warm_start: bool = True,
+        advertised_location: Optional[Callable[[int], Point]] = None,
+        silenced: FrozenSet[int] = frozenset(),
     ) -> None:
         if expiry_s <= 0.0:
             raise ValueError(f"beacon expiry must be positive, got {expiry_s}")
         self._network = network
         self._expiry_s = expiry_s
+        #: Adversary seams (mirroring :class:`~repro.linklayer.mac.LinkLayer`):
+        #: spoofed HELLO positions and nodes that never beaconed, applied to
+        #: the warm-start round too — a spoofer lied from the first HELLO
+        #: and a suppressor was never heard at all.
+        self._advertised = advertised_location or network.location_of
+        self._silenced = silenced
         self._tables: List[NeighborTable] = [
             NeighborTable() for _ in range(network.node_count)
         ]
@@ -152,14 +160,18 @@ class BeaconService:
 
         Crashed nodes beaconed *before* crashing, so they are present too —
         exactly the stale state a between-refresh failure leaves behind.
-        Reads neighbor ids straight off the network's CSR adjacency rows
-        (one O(1) slice per node) and resolves each advertised location
-        once, instead of chasing node objects per (node, neighbor) pair.
+        Suppressed nodes are the exception: they never sent that round's
+        HELLO, so no table ever lists them.  Reads neighbor ids straight
+        off the network's CSR adjacency rows (one O(1) slice per node) and
+        resolves each advertised location once, instead of chasing node
+        objects per (node, neighbor) pair.
         """
         network = self._network
-        advertised = [network.location_of(i) for i in range(network.node_count)]
+        advertised = [self._advertised(i) for i in range(network.node_count)]
         for node_id, table in enumerate(self._tables):
             for neighbor in network.neighbors_of(node_id):
+                if neighbor in self._silenced:
+                    continue
                 table.update(neighbor, advertised[neighbor], 0.0)
 
     @property

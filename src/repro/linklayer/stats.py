@@ -19,6 +19,7 @@ class LinkStats:
     def __init__(self) -> None:
         self._per_session: Dict[int, Dict[str, int]] = {}
         self._global: Dict[str, int] = {}
+        self._adversary: Dict[str, int] = {}
 
     def bump(
         self, key: str, session_id: Optional[int] = None, amount: int = 1
@@ -36,11 +37,24 @@ class LinkStats:
     def global_count(self, key: str) -> int:
         return self._global.get(key, 0)
 
-    def session_perf(self, session_id: int) -> Dict[str, float]:
-        """Flat perf mapping for one session: ``mac.*`` plus global ``link.*``.
+    def bump_adv(self, key: str, amount: int = 1) -> None:
+        """Add ``amount`` to the adversary-behavior counter ``key``.
 
-        The global (infrastructure) counters are repeated in every session's
-        view — they describe the shared channel all sessions ran over.
+        Adversarial traffic (jam frames, swallowed packets) belongs to no
+        session, like beacons, but is kept in its own bucket so benign
+        infrastructure counters stay comparable across A/B runs.
+        """
+        self._adversary[key] = self._adversary.get(key, 0) + amount
+
+    def adversary_count(self, key: str) -> int:
+        return self._adversary.get(key, 0)
+
+    def session_perf(self, session_id: int) -> Dict[str, float]:
+        """Flat perf mapping for one session: ``mac.*``, ``link.*``, ``adv.*``.
+
+        The global (infrastructure) and adversary counters are repeated in
+        every session's view — they describe the shared channel all
+        sessions ran over.
         """
         out: Dict[str, float] = {}
         bucket = self._per_session.get(session_id, {})
@@ -48,4 +62,6 @@ class LinkStats:
             out[f"mac.{key}"] = float(bucket[key])
         for key in sorted(self._global):
             out[f"link.{key}"] = float(self._global[key])
+        for key in sorted(self._adversary):
+            out[f"adv.{key}"] = float(self._adversary[key])
         return out

@@ -1,0 +1,194 @@
+"""Behavior tests against the engine seams, including the A/B contract."""
+
+import pytest
+
+from repro.adversary import (
+    DROPPER,
+    EMPTY_ADVERSARY_SCHEDULE,
+    JAMMER,
+    SPOOFER,
+    SUPPRESSOR,
+    AdversarySchedule,
+    AdversarySpec,
+    AdversaryState,
+)
+from repro.engine import EngineConfig, run_contended_tasks, run_task, task_digest
+from repro.geometry import distance
+from repro.routing.base import NodeView
+from repro.routing.gmp import GMPProtocol
+
+from tests.conftest import make_line_network
+
+
+def line_task(config, destinations=(4,), node_count=5):
+    network = make_line_network(node_count, 100.0)
+    return run_task(
+        network, GMPProtocol(), 0, list(destinations), config=config, task_id=1
+    )
+
+
+class TestABContract:
+    def test_empty_schedule_matches_default_config(self):
+        baseline = line_task(EngineConfig(collect_traces=True))
+        explicit = line_task(
+            EngineConfig(
+                collect_traces=True, adversary=EMPTY_ADVERSARY_SCHEDULE
+            )
+        )
+        assert task_digest(baseline) == task_digest(explicit)
+
+    def test_empty_schedule_matches_on_contended_model(self):
+        network = make_line_network(5, 100.0)
+        tasks = [(0, 0, (4,))]
+        kwargs = dict(transmission_model="contended", collect_traces=True)
+        baseline = run_contended_tasks(
+            network, tasks, GMPProtocol, config=EngineConfig(**kwargs)
+        )
+        explicit = run_contended_tasks(
+            network,
+            tasks,
+            GMPProtocol,
+            config=EngineConfig(adversary=EMPTY_ADVERSARY_SCHEDULE, **kwargs),
+        )
+        assert [task_digest(r) for r in baseline] == [
+            task_digest(r) for r in explicit
+        ]
+
+    def test_adversarial_node_cannot_also_be_failed(self):
+        with pytest.raises(ValueError):
+            EngineConfig(
+                failed_node_ids=frozenset({2}),
+                adversary=AdversarySchedule(specs=(AdversarySpec(2, DROPPER),)),
+            )
+
+
+class TestDropper:
+    def test_blackhole_relay_kills_downstream_delivery(self):
+        config = EngineConfig(
+            adversary=AdversarySchedule(
+                specs=(AdversarySpec(2, DROPPER),), seed=1
+            )
+        )
+        result = line_task(config)
+        assert not result.success
+        assert result.perf is not None
+        assert result.perf["adv.drops"] >= 1.0
+        # Upstream of the blackhole the flow is untouched.
+        assert line_task(config, destinations=(1,)).success
+
+    def test_selective_dropper_ignores_other_flows(self):
+        config = EngineConfig(
+            adversary=AdversarySchedule(
+                specs=(
+                    AdversarySpec(2, DROPPER, target_destinations=(99,)),
+                ),
+                seed=1,
+            )
+        )
+        result = line_task(config)
+        assert result.success
+        assert result.perf is None or "adv.drops" not in result.perf
+
+    def test_selective_dropper_hits_targeted_flow(self):
+        config = EngineConfig(
+            adversary=AdversarySchedule(
+                specs=(AdversarySpec(2, DROPPER, target_destinations=(4,)),),
+                seed=1,
+            )
+        )
+        assert not line_task(config).success
+
+    def test_partial_drop_rate_is_deterministic(self):
+        config = EngineConfig(
+            collect_traces=True,
+            adversary=AdversarySchedule(
+                specs=(AdversarySpec(2, DROPPER, drop_rate=0.5),), seed=9
+            ),
+        )
+        assert task_digest(line_task(config)) == task_digest(line_task(config))
+
+
+class TestSpooferAndSuppressor:
+    def test_suppressed_destination_is_unreachable(self):
+        config = EngineConfig(
+            adversary=AdversarySchedule(
+                specs=(AdversarySpec(4, SUPPRESSOR),), seed=1
+            )
+        )
+        assert not line_task(config).success
+        # The suppressor still relays: flows through it are unharmed.
+        assert line_task(config, destinations=(3,)).success
+
+    def test_spoofed_location_stays_within_declared_offset(self):
+        network = make_line_network(5, 100.0)
+        schedule = AdversarySchedule(
+            specs=(AdversarySpec(2, SPOOFER, spoof_offset_m=200.0),), seed=3
+        )
+        state = AdversaryState(schedule, network, ("task", 0))
+        lie = state.advertised_location(2)
+        truth = network.location_of(2)
+        assert 100.0 - 1e-9 <= distance(lie, truth) <= 200.0 + 1e-9
+        # Honest nodes advertise the truth.
+        assert state.advertised_location(1) == network.location_of(1)
+
+    def test_spoof_draw_is_seeded_per_scope(self):
+        network = make_line_network(5, 100.0)
+        schedule = AdversarySchedule(
+            specs=(AdversarySpec(2, SPOOFER),), seed=3
+        )
+        same_a = AdversaryState(schedule, network, ("task", 0))
+        same_b = AdversaryState(schedule, network, ("task", 0))
+        other = AdversaryState(schedule, network, ("task", 1))
+        assert same_a.advertised_location(2) == same_b.advertised_location(2)
+        assert other.advertised_location(2) != same_a.advertised_location(2)
+
+    def test_wrap_view_hides_suppressors_and_moves_spoofers(self):
+        network = make_line_network(5, 100.0)
+        schedule = AdversarySchedule(
+            specs=(
+                AdversarySpec(1, SUPPRESSOR),
+                AdversarySpec(3, SPOOFER, spoof_offset_m=50.0),
+            ),
+            seed=3,
+        )
+        state = AdversaryState(schedule, network, ("task", 0))
+        view = state.wrap_view(NodeView(network, 2))
+        assert 1 not in view.neighbor_ids
+        assert 3 in view.neighbor_ids
+        assert view.location_of(3) != network.location_of(3)
+
+
+class TestJammer:
+    def test_jammer_requires_contended_model(self):
+        config = EngineConfig(
+            adversary=AdversarySchedule(specs=(AdversarySpec(2, JAMMER),))
+        )
+        with pytest.raises(ValueError, match="contended"):
+            line_task(config)
+
+    def test_jammer_saturates_the_contended_channel(self):
+        network = make_line_network(5, 100.0)
+        config = EngineConfig(
+            transmission_model="contended",
+            adversary=AdversarySchedule(
+                specs=(AdversarySpec(2, JAMMER, jam_duty=0.9),), seed=7
+            ),
+        )
+        (result,) = run_contended_tasks(
+            network, [(0, 0, (4,))], GMPProtocol, config=config
+        )
+        assert result.perf is not None
+        assert result.perf["adv.jam_frames"] > 0.0
+
+
+class TestStateValidation:
+    def test_schedule_must_be_non_empty(self):
+        network = make_line_network(3, 100.0)
+        with pytest.raises(ValueError):
+            AdversaryState(EMPTY_ADVERSARY_SCHEDULE, network, ("task", 0))
+
+    def test_node_ids_must_exist(self):
+        network = make_line_network(3, 100.0)
+        schedule = AdversarySchedule(specs=(AdversarySpec(99, DROPPER),))
+        with pytest.raises(ValueError):
+            AdversaryState(schedule, network, ("task", 0))

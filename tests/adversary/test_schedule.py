@@ -1,0 +1,129 @@
+"""Schedule/spec data-model tests: validation, normalization, round-trips."""
+
+import pytest
+
+from repro.adversary import (
+    BEHAVIORS,
+    DROPPER,
+    EMPTY_ADVERSARY_SCHEDULE,
+    JAMMER,
+    SPOOFER,
+    SUPPRESSOR,
+    AdversarySchedule,
+    AdversarySpec,
+)
+
+
+class TestSpecValidation:
+    def test_behavior_must_be_known(self):
+        with pytest.raises(ValueError):
+            AdversarySpec(0, "gremlin")
+
+    def test_all_declared_behaviors_construct(self):
+        for behavior in BEHAVIORS:
+            assert AdversarySpec(3, behavior).behavior == behavior
+
+    def test_node_id_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            AdversarySpec(-1, DROPPER)
+
+    def test_drop_rate_bounds(self):
+        with pytest.raises(ValueError):
+            AdversarySpec(0, DROPPER, drop_rate=0.0)
+        with pytest.raises(ValueError):
+            AdversarySpec(0, DROPPER, drop_rate=1.5)
+        assert AdversarySpec(0, DROPPER, drop_rate=1.0).drop_rate == 1.0
+
+    def test_jam_knob_bounds(self):
+        with pytest.raises(ValueError):
+            AdversarySpec(0, JAMMER, jam_duty=0.0)
+        with pytest.raises(ValueError):
+            AdversarySpec(0, JAMMER, jam_period_s=0.0)
+        with pytest.raises(ValueError):
+            AdversarySpec(0, JAMMER, jam_bytes=0)
+
+    def test_spoof_offset_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdversarySpec(0, SPOOFER, spoof_offset_m=0.0)
+
+    def test_target_destinations_normalized(self):
+        spec = AdversarySpec(0, DROPPER, target_destinations=(9, 2, 9, 5))
+        assert spec.target_destinations == (2, 5, 9)
+        with pytest.raises(ValueError):
+            AdversarySpec(0, DROPPER, target_destinations=(-3,))
+
+
+class TestScheduleNormalization:
+    def test_specs_sorted_by_node_id(self):
+        schedule = AdversarySchedule(
+            specs=(AdversarySpec(7, SPOOFER), AdversarySpec(2, DROPPER)),
+            seed=5,
+        )
+        assert schedule.node_ids == (2, 7)
+
+    def test_equal_casts_compare_equal(self):
+        a = AdversarySchedule(
+            specs=(AdversarySpec(7, SPOOFER), AdversarySpec(2, DROPPER)), seed=5
+        )
+        b = AdversarySchedule(
+            specs=(AdversarySpec(2, DROPPER), AdversarySpec(7, SPOOFER)), seed=5
+        )
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(ValueError):
+            AdversarySchedule(
+                specs=(AdversarySpec(3, DROPPER), AdversarySpec(3, JAMMER))
+            )
+
+    def test_enabled_and_empty_default(self):
+        assert not EMPTY_ADVERSARY_SCHEDULE.enabled
+        assert AdversarySchedule(specs=(AdversarySpec(0, SUPPRESSOR),)).enabled
+
+    def test_of_behavior_filters_in_order(self):
+        schedule = AdversarySchedule(
+            specs=(
+                AdversarySpec(5, DROPPER),
+                AdversarySpec(1, DROPPER),
+                AdversarySpec(3, JAMMER),
+            )
+        )
+        assert [s.node_id for s in schedule.of_behavior(DROPPER)] == [1, 5]
+        assert schedule.has_jammers
+        with pytest.raises(ValueError):
+            schedule.of_behavior("gremlin")
+
+    def test_without_node(self):
+        schedule = AdversarySchedule(
+            specs=(AdversarySpec(1, DROPPER), AdversarySpec(3, JAMMER))
+        )
+        assert schedule.without_node(3).node_ids == (1,)
+        assert not schedule.without_node(3).has_jammers
+
+
+class TestJsonRoundTrip:
+    def test_spec_round_trip_is_exact(self):
+        spec = AdversarySpec(
+            4,
+            DROPPER,
+            drop_rate=0.5,
+            target_destinations=(8, 2),
+            spoof_offset_m=123.0,
+            jam_duty=0.9,
+            jam_period_s=1e-3,
+            jam_bytes=32,
+        )
+        assert AdversarySpec.from_json_dict(spec.to_json_dict()) == spec
+
+    def test_schedule_round_trip_is_exact(self):
+        schedule = AdversarySchedule(
+            specs=(
+                AdversarySpec(4, DROPPER, drop_rate=0.5),
+                AdversarySpec(9, SPOOFER, spoof_offset_m=77.0),
+            ),
+            seed=42,
+        )
+        assert (
+            AdversarySchedule.from_json_dict(schedule.to_json_dict()) == schedule
+        )

@@ -1,7 +1,12 @@
 """Digest-relevant sink layer: functions here are R011 taint sinks."""
 
 from proj.util.chain import jitter
+from proj.util.entropy import fresh_salt, fresh_stream
 
 
 def run(tasks):
     return [task + jitter() for task in tasks]
+
+
+def reseed():
+    return fresh_salt(), fresh_stream()

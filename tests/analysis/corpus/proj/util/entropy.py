@@ -1,0 +1,18 @@
+"""From-imported entropy sources: bare-name R011 taint sources.
+
+``from os import urandom`` / ``from numpy.random import default_rng`` shed
+the module prefix the dotted taint tables key on — these two calls pin the
+bare-name handling.
+"""
+
+from os import urandom
+
+from numpy.random import default_rng
+
+
+def fresh_salt():
+    return urandom(8)
+
+
+def fresh_stream():
+    return default_rng()

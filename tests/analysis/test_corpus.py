@@ -55,18 +55,33 @@ def test_exact_finding_set(corpus_report):
         ("R016", "chain.py", 10),
         ("R002", "clock.py", 7),
         ("R011", "clock.py", 7),
+        ("R011", "entropy.py", 14),
+        ("R011", "entropy.py", 18),
     ]
     assert corpus_report.suppressed == []
 
 
 def test_taint_reports_the_full_multi_hop_chain(corpus_report):
-    (finding,) = _by_rule(corpus_report, "R011")
-    assert finding.message == (
+    findings = _by_rule(corpus_report, "R011")
+    (clock_finding,) = [f for f in findings if f.path.endswith("clock.py")]
+    assert clock_finding.message == (
         "nondeterministic value from time.time() reaches digest-relevant "
         "function proj.engine.runner.run via call chain "
         "proj.engine.runner.run -> proj.util.chain.jitter -> "
         "proj.util.clock.now"
     )
+
+
+def test_taint_catches_bare_name_from_imported_sources(corpus_report):
+    messages = sorted(
+        f.message
+        for f in _by_rule(corpus_report, "R011")
+        if f.path.endswith("entropy.py")
+    )
+    assert len(messages) == 2
+    assert "os.urandom()" in messages[0]
+    assert "unseeded default_rng()" in messages[1]
+    assert all("proj.engine.runner.reseed" in m for m in messages)
 
 
 def test_cycle_message_names_the_loop(corpus_report):

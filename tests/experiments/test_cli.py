@@ -55,10 +55,67 @@ class TestCLI:
         reseeded = capsys.readouterr().out
         assert base != reseeded
 
-    def test_unknown_scale_rejected(self):
-        with pytest.raises(ValueError):
-            main(["figure11", "--scale", "galactic"])
+    def test_unknown_scale_exits_2_with_one_line_error(self, capsys):
+        assert main(["figure11", "--scale", "galactic"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "galactic" in err
+        assert "Traceback" not in err
+
+    def test_bad_robustness_scale_exits_2(self, capsys):
+        assert main(["robustness", "--scale", "galactic"]) == 2
+        assert "error: " in capsys.readouterr().err
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure99"])
+
+
+class TestFuzzCLI:
+    def test_fuzz_stdout_is_deterministic(self, capsys):
+        argv = ["fuzz", "--seed", "7", "--budget", "2", "--quiet"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "store digest:" in first
+
+    def test_fuzz_fail_on_findings(self, capsys):
+        # Seed 7 scenario 0 is a known finding under the default limits.
+        argv = [
+            "fuzz",
+            "--seed",
+            "7",
+            "--budget",
+            "1",
+            "--quiet",
+            "--no-shrink",
+            "--fail-on-findings",
+        ]
+        assert main(argv) == 1
+        assert "findings: 1 / 1" in capsys.readouterr().out
+
+    def test_fuzz_writes_store_and_fixtures(self, tmp_path, capsys):
+        store_path = tmp_path / "store.json"
+        fixtures_dir = tmp_path / "fixtures"
+        argv = [
+            "fuzz",
+            "--seed",
+            "7",
+            "--budget",
+            "1",
+            "--quiet",
+            "--json",
+            str(store_path),
+            "--fixtures-dir",
+            str(fixtures_dir),
+        ]
+        assert main(argv) == 0
+        payload = json.loads(store_path.read_text())
+        assert payload["root_seed"] == 7
+        assert len(list(fixtures_dir.glob("fuzz_7_*.json"))) == 1
+
+    def test_fuzz_rejects_non_positive_budget(self, capsys):
+        assert main(["fuzz", "--budget", "0", "--quiet"]) == 2
+        assert "budget" in capsys.readouterr().err

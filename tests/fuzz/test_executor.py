@@ -1,0 +1,83 @@
+"""Executor tests: deterministic workloads, benign twins, stable digests."""
+
+import pytest
+
+from repro.fuzz import sample_scenario
+from repro.fuzz.executor import (
+    ScenarioOutcome,
+    build_scenario_network,
+    run_scenario,
+    scenario_tasks,
+)
+from repro.fuzz.generator import ScenarioSpec
+
+
+def small_spec(**overrides):
+    base = dict(
+        seed=41,
+        node_count=60,
+        field_size_m=500.0,
+        protocol="GMP",
+        transmission_model="protocol",
+        task_count=2,
+        group_size=3,
+        link_loss_rate=0.0,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestWorkload:
+    def test_tasks_are_deterministic(self):
+        spec = small_spec()
+        assert scenario_tasks(spec) == scenario_tasks(spec)
+
+    def test_tasks_exclude_failed_and_adversarial_nodes(self):
+        spec = sample_scenario(7, 0)
+        excluded = set(spec.failed_node_ids) | set(spec.node_ids_of_adversaries())
+        assert excluded  # the sampled case actually perturbs nodes
+        for _, source, destinations in scenario_tasks(spec):
+            assert source not in excluded
+            assert not excluded.intersection(destinations)
+
+    def test_prefix_stability_under_task_count_shrink(self):
+        # Shrinking task_count must keep the surviving tasks bit-identical.
+        full = scenario_tasks(small_spec(task_count=3))
+        shrunk = scenario_tasks(small_spec(task_count=1))
+        assert full[:1] == shrunk
+
+    def test_too_few_unperturbed_nodes_rejected(self):
+        spec = small_spec(
+            node_count=4, group_size=2, failed_node_ids=(0, 1, 2)
+        )
+        with pytest.raises(ValueError):
+            scenario_tasks(spec)
+
+    def test_network_is_memoized_per_spec_shape(self):
+        spec = small_spec()
+        assert build_scenario_network(spec) is build_scenario_network(spec)
+
+
+class TestRunScenario:
+    def test_double_run_is_bit_identical(self):
+        spec = sample_scenario(7, 0)
+        a = run_scenario(spec)
+        b = run_scenario(spec)
+        assert a.results_digest == b.results_digest
+        assert a == b
+
+    def test_clean_spec_reuses_results_as_its_own_twin(self):
+        outcome = run_scenario(small_spec())
+        assert outcome.benign_delivery_ratio == outcome.delivery_ratio
+        assert outcome.failures == ()
+
+    def test_known_finding_fires_delivery_oracle(self):
+        outcome = run_scenario(sample_scenario(7, 0))
+        assert "delivery_below_floor" in outcome.failures
+        assert outcome.benign_delivery_ratio >= outcome.delivery_ratio
+
+    def test_outcome_round_trips_through_json(self):
+        outcome = run_scenario(small_spec())
+        assert (
+            ScenarioOutcome.from_json_dict(outcome.to_json_dict()) == outcome
+        )

@@ -1,0 +1,47 @@
+"""Replay every committed fuzz fixture: shrunk findings stay findings.
+
+Each ``fixtures/*.json`` file is a minimal repro the fuzzer once shrank out
+of a campaign.  Replaying it must reproduce the very oracle verdict it was
+committed with — this is how a one-off fuzz finding becomes a permanent
+regression test (and how an engine change that *fixes* the underlying
+behavior announces itself: the replay fails and the fixture gets retired).
+"""
+
+import pathlib
+
+import pytest
+
+from repro.fuzz import load_fixture, replay_fixture
+from repro.fuzz.autopilot import FIXTURE_VERSION, FuzzFixture
+
+FIXTURES = sorted(
+    (pathlib.Path(__file__).resolve().parent / "fixtures").glob("*.json")
+)
+
+
+def test_fixtures_are_committed():
+    assert len(FIXTURES) >= 3
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.name)
+def test_fixture_replays_to_its_stored_verdict(path):
+    outcome, fixture = replay_fixture(str(path))
+    assert fixture.expected_failures  # a fixture always pins >= 1 oracle
+    assert set(fixture.expected_failures).issubset(set(outcome.failures)), (
+        f"{path.name} no longer reproduces {fixture.expected_failures}; "
+        f"observed {outcome.failures}"
+    )
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.name)
+def test_fixture_round_trips_exactly(path):
+    fixture = load_fixture(str(path))
+    assert FuzzFixture.from_json_dict(fixture.to_json_dict()) == fixture
+
+
+def test_unknown_fixture_version_rejected():
+    fixture = load_fixture(str(FIXTURES[0]))
+    data = fixture.to_json_dict()
+    data["version"] = FIXTURE_VERSION + 1
+    with pytest.raises(ValueError, match="version"):
+        FuzzFixture.from_json_dict(data)

@@ -1,0 +1,106 @@
+"""Generator tests: deterministic sampling and exact JSON round-trips."""
+
+import pytest
+
+from repro.adversary.schedule import JAMMER
+from repro.fuzz import DEFAULT_FUZZ_LIMITS, FuzzLimits, ScenarioSpec, sample_scenario
+
+
+class TestSampling:
+    def test_same_index_same_scenario(self):
+        assert sample_scenario(7, 3) == sample_scenario(7, 3)
+
+    def test_scenarios_differ_across_indices_and_seeds(self):
+        specs = {sample_scenario(7, i).seed for i in range(10)}
+        assert len(specs) == 10
+        assert sample_scenario(7, 0) != sample_scenario(8, 0)
+
+    def test_sampled_specs_respect_invariants(self):
+        for index in range(30):
+            spec = sample_scenario(20060704, index)
+            failed = set(spec.failed_node_ids)
+            adversaries = set(spec.node_ids_of_adversaries())
+            assert not failed & adversaries
+            assert all(0 <= n < spec.node_count for n in failed | adversaries)
+            assert 1 <= spec.group_size < spec.node_count
+            if spec.transmission_model == "contended":
+                assert spec.node_count <= DEFAULT_FUZZ_LIMITS.contended_node_cap
+
+    def test_jammers_only_on_contended_scenarios(self):
+        for index in range(60):
+            spec = sample_scenario(20060704, index)
+            has_jammer = any(a.behavior == JAMMER for a in spec.adversaries)
+            if has_jammer:
+                assert spec.transmission_model == "contended"
+
+    def test_adversary_schedule_is_seeded_off_the_spec(self):
+        spec = sample_scenario(7, 0)
+        assert spec.adversaries  # seed 7 index 0 carries adversaries
+        schedule = spec.adversary_schedule
+        assert schedule.node_ids == spec.node_ids_of_adversaries()
+        assert schedule.seed == spec.adversary_schedule.seed
+
+
+class TestSpecModel:
+    def test_json_round_trip_is_exact(self):
+        for index in range(10):
+            spec = sample_scenario(99, index)
+            assert ScenarioSpec.from_json_dict(spec.to_json_dict()) == spec
+
+    def test_benign_twin_strips_perturbations(self):
+        spec = sample_scenario(7, 0)
+        twin = spec.benign_twin()
+        assert twin.link_loss_rate == 0.0
+        assert twin.failed_node_ids == ()
+        assert twin.adversaries == ()
+        assert twin.seed == spec.seed
+        assert twin.node_count == spec.node_count
+
+    def test_describe_mentions_the_perturbations(self):
+        spec = sample_scenario(7, 0)
+        label = spec.describe()
+        assert f"n={spec.node_count}" in label
+        assert spec.protocol in label
+        assert "adv=" in label
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(
+                seed=1,
+                node_count=1,
+                field_size_m=100.0,
+                protocol="GMP",
+                transmission_model="protocol",
+                task_count=1,
+                group_size=1,
+                link_loss_rate=0.0,
+            )
+        with pytest.raises(ValueError):
+            ScenarioSpec(
+                seed=1,
+                node_count=10,
+                field_size_m=100.0,
+                protocol="GMP",
+                transmission_model="carrier-pigeon",
+                task_count=1,
+                group_size=2,
+                link_loss_rate=0.0,
+            )
+
+
+class TestLimits:
+    def test_empty_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            FuzzLimits(node_counts=())
+        with pytest.raises(ValueError):
+            FuzzLimits(contended_fraction=1.5)
+
+    def test_limits_round_trip_keys_are_stable(self):
+        data = DEFAULT_FUZZ_LIMITS.to_json_dict()
+        assert set(data) >= {
+            "node_counts",
+            "protocols",
+            "adversary_counts",
+            "behaviors",
+            "contended_fraction",
+        }

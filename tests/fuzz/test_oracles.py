@@ -1,0 +1,145 @@
+"""Oracle unit tests on synthetic task results and traces."""
+
+import pytest
+
+from repro.engine.stats import TaskResult
+from repro.engine.trace import CopyRecord, FrameRecord, TaskTrace
+from repro.fuzz import DEFAULT_ORACLE_CONFIG, OracleConfig, OracleReport
+from repro.fuzz.oracles import delivery_ratio_of, evaluate_oracles
+
+
+def make_result(
+    destinations=(1, 2),
+    delivered=(1, 2),
+    trace=None,
+    task_id=0,
+):
+    return TaskResult(
+        task_id=task_id,
+        protocol="GMP",
+        source_id=0,
+        destination_ids=tuple(destinations),
+        delivered_hops={d: 3 for d in delivered},
+        transmissions=10,
+        energy_joules=0.1,
+        duration_s=0.2,
+        trace=trace,
+    )
+
+
+def make_trace(copies):
+    trace = TaskTrace()
+    trace.record(
+        FrameRecord(
+            time_s=0.0, sender_id=0, copies=tuple(copies), transmissions_charged=1
+        )
+    )
+    return trace
+
+
+def copy(receiver, perimeter=False, lost=False, dests=(5,)):
+    return CopyRecord(
+        receiver_id=receiver,
+        destination_ids=tuple(dests),
+        hop_count=1,
+        in_perimeter_mode=perimeter,
+        lost=lost,
+    )
+
+
+def by_name(reports, name):
+    (report,) = [r for r in reports if r.name == name]
+    return report
+
+
+class TestDeliveryOracle:
+    def test_triggers_when_benign_world_delivers(self):
+        results = [make_result(delivered=())]
+        reports = evaluate_oracles(results, 1.0, [])
+        assert by_name(reports, "delivery_below_floor").triggered
+
+    def test_silent_when_benign_world_is_broken_too(self):
+        # A disconnected topology is not an adversary win.
+        results = [make_result(delivered=())]
+        reports = evaluate_oracles(results, 0.5, [])
+        assert not by_name(reports, "delivery_below_floor").triggered
+
+    def test_silent_above_the_floor(self):
+        reports = evaluate_oracles([make_result()], 1.0, [])
+        assert not by_name(reports, "delivery_below_floor").triggered
+
+    def test_delivery_ratio_of_empty_batch_is_one(self):
+        assert delivery_ratio_of([]) == 1.0
+        assert delivery_ratio_of([make_result(delivered=(1,))]) == 0.5
+
+
+class TestLoopOracle:
+    def test_repeated_packet_state_is_a_loop(self):
+        repeats = DEFAULT_ORACLE_CONFIG.loop_repeats
+        trace = make_trace([copy(3)] * repeats)
+        reports = evaluate_oracles([make_result(trace=trace)], 1.0, [])
+        report = by_name(reports, "routing_loop")
+        assert report.triggered
+        assert "node 3" in report.detail
+
+    def test_lost_copies_do_not_count(self):
+        repeats = DEFAULT_ORACLE_CONFIG.loop_repeats
+        trace = make_trace([copy(3, lost=True)] * (repeats * 2))
+        reports = evaluate_oracles([make_result(trace=trace)], 1.0, [])
+        assert not by_name(reports, "routing_loop").triggered
+
+    def test_distinct_packet_states_do_not_count(self):
+        trace = make_trace([copy(3, dests=(d,)) for d in range(8)])
+        reports = evaluate_oracles([make_result(trace=trace)], 1.0, [])
+        assert not by_name(reports, "routing_loop").triggered
+
+
+class TestLivelockOracle:
+    def test_failed_task_with_many_perimeter_copies(self):
+        copies = [copy(i % 7, perimeter=True) for i in range(96)]
+        result = make_result(delivered=(), trace=make_trace(copies))
+        reports = evaluate_oracles([result], 0.0, [])
+        assert by_name(reports, "perimeter_livelock").triggered
+
+    def test_successful_task_is_not_a_livelock(self):
+        copies = [copy(i % 7, perimeter=True) for i in range(200)]
+        result = make_result(trace=make_trace(copies))  # all delivered
+        reports = evaluate_oracles([result], 1.0, [])
+        assert not by_name(reports, "perimeter_livelock").triggered
+
+
+class TestNonTermination:
+    def test_engine_errors_trigger(self):
+        reports = evaluate_oracles([make_result()], 1.0, ["task 0: budget"])
+        report = by_name(reports, "non_termination")
+        assert report.triggered
+        assert "budget" in report.detail
+
+    def test_quiescent_runs_do_not(self):
+        reports = evaluate_oracles([make_result()], 1.0, [])
+        assert not by_name(reports, "non_termination").triggered
+
+
+class TestConfigModel:
+    def test_report_order_is_stable(self):
+        names = [r.name for r in evaluate_oracles([make_result()], 1.0, [])]
+        assert names == [
+            "delivery_below_floor",
+            "routing_loop",
+            "perimeter_livelock",
+            "non_termination",
+        ]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            OracleConfig(delivery_floor=0.0)
+        with pytest.raises(ValueError):
+            OracleConfig(loop_repeats=1)
+        with pytest.raises(ValueError):
+            OracleConfig(livelock_min_copies=0)
+
+    def test_config_and_report_round_trip(self):
+        config = OracleConfig(delivery_floor=0.5, loop_repeats=6)
+        assert OracleConfig.from_json_dict(config.to_json_dict()) == config
+        report = OracleReport(name="routing_loop", triggered=True, detail="x")
+        assert OracleReport.from_json_dict(report.to_json_dict()) == report

@@ -1,0 +1,76 @@
+"""Shrinker and results-store tests: greedy minimization, canonical bytes."""
+
+import json
+
+import pytest
+
+from repro.fuzz import run_fuzz_campaign, sample_scenario, shrink_scenario
+from repro.fuzz.executor import run_scenario
+from repro.fuzz.shrink import _size_of
+
+
+class TestShrink:
+    def test_shrinks_a_known_finding_and_keeps_its_oracle(self):
+        spec = sample_scenario(7, 0)
+        expected = run_scenario(spec).failures
+        assert expected  # precondition: seed 7 index 0 is a finding
+        result = shrink_scenario(spec, expected, max_attempts=24)
+        assert set(expected).issubset(result.outcome.failures)
+        assert _size_of(result.spec) < _size_of(spec)
+        assert result.accepted_steps >= 1
+        assert result.attempts <= 24
+
+    def test_shrinking_is_deterministic(self):
+        spec = sample_scenario(7, 0)
+        expected = run_scenario(spec).failures
+        a = shrink_scenario(spec, expected, max_attempts=24)
+        b = shrink_scenario(spec, expected, max_attempts=24)
+        assert a.spec == b.spec
+        assert a.attempts == b.attempts
+
+    def test_rejects_empty_expectations_and_non_failing_specs(self):
+        spec = sample_scenario(7, 0)
+        with pytest.raises(ValueError):
+            shrink_scenario(spec, ())
+        clean = sample_scenario(7, 2)
+        assert run_scenario(clean).failures == ()
+        with pytest.raises(ValueError):
+            shrink_scenario(clean, ("delivery_below_floor",))
+
+
+class TestStore:
+    def test_campaign_double_run_is_byte_identical(self):
+        a = run_fuzz_campaign(7, 2, max_shrink_attempts=16)
+        b = run_fuzz_campaign(7, 2, max_shrink_attempts=16)
+        assert a.canonical_bytes() == b.canonical_bytes()
+        assert a.digest() == b.digest()
+
+    def test_canonical_bytes_are_sorted_json_with_trailing_newline(self):
+        store = run_fuzz_campaign(7, 1, shrink=False)
+        raw = store.canonical_bytes()
+        assert raw.endswith(b"\n")
+        payload = json.loads(raw)
+        assert payload["root_seed"] == 7
+        assert payload["budget"] == 1
+        assert len(payload["outcomes"]) == 1
+        assert raw == (
+            json.dumps(payload, sort_keys=True, indent=2) + "\n"
+        ).encode("utf-8")
+
+    def test_findings_recorded_with_shrunk_repro(self):
+        store = run_fuzz_campaign(7, 1, max_shrink_attempts=16)
+        assert store.finding_count == 1
+        (finding,) = store.findings
+        assert finding.index == 0
+        assert finding.shrunk is not None
+        assert finding.outcome.failures
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_fuzz_campaign(7, 0)
+
+    def test_save_writes_canonical_bytes(self, tmp_path):
+        store = run_fuzz_campaign(7, 1, shrink=False)
+        path = tmp_path / "store.json"
+        store.save(str(path))
+        assert path.read_bytes() == store.canonical_bytes()

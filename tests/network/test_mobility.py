@@ -91,6 +91,88 @@ class TestMovement:
         assert total_slow < total_fast
 
 
+class TestTrajectoryDeterminism:
+    def test_multi_step_trajectory_identical_for_seed(self):
+        # Same seed, same irregular dt sequence -> bit-identical trajectory,
+        # including waypoint re-draws and pause bookkeeping along the way.
+        kwargs = dict(speed_range_mps=(2.0, 8.0), pause_time_s=3.0)
+        a = make_model(seed=11, **kwargs)
+        b = make_model(seed=11, **kwargs)
+        for dt in [5.0, 0.5, 12.0, 1.0] * 8:
+            assert a.advance(dt) == b.advance(dt)
+
+    def test_same_start_different_rng_diverges(self):
+        initial = [Point(100.0 + 10.0 * i, 200.0) for i in range(10)]
+        a = RandomWaypointMobility(
+            initial, 1000.0, 1000.0, np.random.default_rng(1)
+        )
+        b = RandomWaypointMobility(
+            initial, 1000.0, 1000.0, np.random.default_rng(2)
+        )
+        assert a.advance(60.0) != b.advance(60.0)
+
+    def test_positions_property_returns_a_copy(self):
+        model = make_model()
+        snapshot = model.positions
+        snapshot[0] = Point(-1.0, -1.0)
+        assert model.positions[0] != Point(-1.0, -1.0)
+
+
+class TestBoundsAndPause:
+    def test_corner_starts_high_speed_stay_clamped(self):
+        # Waypoints are drawn inside the field, so even fast nodes starting
+        # on the boundary must never leave it, whatever the step size.
+        initial = [Point(0.0, 0.0), Point(1000.0, 1000.0), Point(0.0, 1000.0)]
+        model = RandomWaypointMobility(
+            initial,
+            1000.0,
+            1000.0,
+            np.random.default_rng(7),
+            speed_range_mps=(50.0, 80.0),
+            pause_time_s=1.0,
+        )
+        for _ in range(200):
+            for p in model.advance(7.3):
+                assert 0.0 <= p.x <= 1000.0
+                assert 0.0 <= p.y <= 1000.0
+
+    @staticmethod
+    def _longest_idle_run(trajectory):
+        longest = run = 0
+        for before, after in zip(trajectory, trajectory[1:]):
+            run = run + 1 if before == after else 0
+            longest = max(longest, run)
+        return longest
+
+    def test_pause_holds_node_at_waypoint_then_releases(self):
+        model = RandomWaypointMobility(
+            [Point(50.0, 50.0)],
+            100.0,
+            100.0,
+            np.random.default_rng(3),
+            speed_range_mps=(2.0, 2.0000001),
+            pause_time_s=5.0,
+        )
+        trajectory = [model.advance(1.0)[0] for _ in range(120)]
+        # Arriving mid-step burns part of the pause; the node must then sit
+        # exactly still for at least the four following whole steps...
+        assert self._longest_idle_run(trajectory) >= 4
+        # ...but never longer than the pause itself allows.
+        assert self._longest_idle_run(trajectory) <= 5
+
+    def test_zero_pause_never_idles(self):
+        model = RandomWaypointMobility(
+            [Point(50.0, 50.0)],
+            100.0,
+            100.0,
+            np.random.default_rng(3),
+            speed_range_mps=(2.0, 2.0000001),
+            pause_time_s=0.0,
+        )
+        trajectory = [model.advance(1.0)[0] for _ in range(120)]
+        assert self._longest_idle_run(trajectory) == 0
+
+
 class TestRoutingAcrossEpochs:
     def test_stateless_protocol_survives_movement(self):
         from repro.network import RadioConfig, build_network
