@@ -376,6 +376,40 @@ def test_bench_network_build_5k_legacy(benchmark):
     benchmark.pedantic(build, rounds=5, iterations=1, warmup_rounds=1)
 
 
+@pytest.fixture(scope="module")
+def shared_plane_manifest_5k():
+    """A 5k-node deployment published once to the shared-memory plane."""
+    from repro.perf.shm import SharedNetworkPlane
+
+    config = scaled_config(PaperConfig(), 5000)
+    rng = np.random.default_rng(41)
+    points = uniform_random_topology(
+        config.node_count, config.field_width_m, config.field_height_m, rng
+    )
+    network = build_network(points, RadioConfig())
+    with SharedNetworkPlane(seed=config.master_seed) as plane:
+        assert plane.publish(("bench", 5000), network)
+        yield plane.manifests()[("bench", 5000)]
+
+
+def test_bench_network_attach_5k(benchmark, shared_plane_manifest_5k):
+    """Zero-copy worker attach to the published 5k deployment.
+
+    Paired with ``test_bench_network_build_5k_soa`` above: the median
+    ratio between the two is what each pool worker saves by mapping the
+    parent's segment instead of rebuilding the deployment (>= 10x on the
+    reference machine; see docs/PERFORMANCE.md).
+    """
+    from repro.perf.shm import attach_manifest
+
+    def attach():
+        network = attach_manifest(shared_plane_manifest_5k)
+        assert network is not None and network.node_count == 5000
+        return network
+
+    benchmark.pedantic(attach, rounds=5, iterations=1, warmup_rounds=1)
+
+
 def _mac_like_schedule(scheduler, churn=60_000, live=30_000, seed=211):
     """Drive a scheduler through a contended-MAC-shaped event stream.
 

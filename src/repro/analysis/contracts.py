@@ -1,4 +1,4 @@
-"""Contract rules R012–R016: the cross-file invariants PRs 2–4 introduced.
+"""Contract rules R012–R017: the cross-file invariants PRs 2–4 introduced.
 
 These rules pin promises that live in *pairs of files*: a mutator here must
 invalidate a cache there; a batch kernel here must have a scalar reference
@@ -21,6 +21,10 @@ they ride on the :class:`~repro.analysis.project.Project` call graph.
 * **R016** — private functions never referenced anywhere in the project are
   dead code (warning; reference tracking is name-based and conservative —
   any mention by name anywhere keeps a function alive).
+* **R017** — methods mutating state that may alias read-only shared-memory
+  plane segments (:mod:`repro.perf.shm`) must reach a copy-on-write call,
+  so pool workers' mutations stay worker-local instead of crashing on (or
+  silently diverging from) the shared buffers.
 """
 
 from __future__ import annotations
@@ -73,7 +77,14 @@ def _guarded_attr(node: ast.expr, guarded: frozenset) -> Optional[str]:
 
 
 class CacheInvalidationRule(ProjectRule):
-    """R012 — guarded-state mutators must reach a cache invalidation."""
+    """R012 — guarded-state mutators must reach a cache invalidation.
+
+    The structural skeleton — "a method mutating guarded ``self`` state
+    must reach one of a set of sanctioned calls" — is shared with R017
+    (:class:`SharedMutationRule`) through the ``_scopes`` / ``_guarded`` /
+    ``_required`` / ``_message`` hooks; only the config fields and the
+    story differ.
+    """
 
     rule_id = "R012"
     severity = Severity.ERROR
@@ -86,34 +97,55 @@ class CacheInvalidationRule(ProjectRule):
         "_refresh_cell / clear_caches) after the mutation"
     )
 
+    def _scopes(self, config: LintConfig) -> Tuple[str, ...]:
+        return config.mutation_scopes
+
+    def _guarded(self, config: LintConfig) -> Tuple[str, ...]:
+        return config.mutation_guarded_attrs
+
+    def _required(self, config: LintConfig) -> Tuple[str, ...]:
+        return config.invalidation_calls
+
+    def _exempt(self, config: LintConfig) -> Tuple[str, ...]:
+        # The copy-on-write hooks (R017's sanctioned calls) replace guarded
+        # arrays with value-identical copies: no query answer can change,
+        # so no cache can go stale and R012 does not apply to them.
+        return config.cow_calls
+
+    def _message(self, qualname: str, attrs: str) -> str:
+        return (
+            f"{qualname} mutates guarded state ({attrs}) without "
+            "reaching a cache-invalidation call"
+        )
+
     def check_project(
         self, project: Project, config: LintConfig
     ) -> Iterator[Finding]:
-        guarded = frozenset(config.mutation_guarded_attrs)
-        invalidators = frozenset(config.invalidation_calls)
+        guarded = frozenset(self._guarded(config))
+        required = frozenset(self._required(config))
+        exempt = frozenset(self._exempt(config))
         graph = project.callgraph
         for qualname in sorted(graph.functions):
             info = graph.functions[qualname]
             if info.class_qualname is None:
                 continue
-            if not path_matches(info.module_path, config.mutation_scopes):
+            if not path_matches(info.module_path, self._scopes(config)):
                 continue
-            if info.name == "__init__" or info.name in invalidators:
+            if info.name == "__init__" or info.name in required:
+                continue
+            if info.name in exempt:
                 continue
             mutated = self._mutated_attrs(info.node, guarded)
             if not mutated:
                 continue
-            if self._reaches_invalidation(graph, qualname, info.node, invalidators):
+            if self._reaches_invalidation(graph, qualname, info.node, required):
                 continue
             attrs = ", ".join(repr(a) for a in sorted(mutated))
             yield self.project_finding(
                 path=info.module_path,
                 line=info.line,
                 col=0,
-                message=(
-                    f"{qualname} mutates guarded state ({attrs}) without "
-                    "reaching a cache-invalidation call"
-                ),
+                message=self._message(qualname, attrs),
             )
 
     def _mutated_attrs(self, node: ast.AST, guarded: frozenset) -> Set[str]:
@@ -157,6 +189,45 @@ class CacheInvalidationRule(ProjectRule):
             if info is not None and info.name in invalidators:
                 return True
         return False
+
+
+class SharedMutationRule(CacheInvalidationRule):
+    """R017 — shared-plane-backed state is only mutated behind a CoW call.
+
+    Networks attached from the shared-memory plane
+    (:mod:`repro.perf.shm`) alias read-only segments mapped into every
+    worker; a method that writes those attributes without first going
+    through the copy-on-write API either crashes (the buffers are
+    read-only) or — worse, on a privately rebuilt network — silently
+    diverges from pooled runs.  Same skeleton as R012, different config
+    fields and required calls.
+    """
+
+    rule_id = "R017"
+    severity = Severity.ERROR
+    summary = (
+        "methods mutating shared-plane-backed network state must reach "
+        "a copy-on-write call on some path"
+    )
+    fix_hint = (
+        "call the copy-on-write hook (_ensure_private_node_state / "
+        "_ensure_private_points) before the mutation"
+    )
+
+    def _scopes(self, config: LintConfig) -> Tuple[str, ...]:
+        return config.shared_mutation_scopes
+
+    def _guarded(self, config: LintConfig) -> Tuple[str, ...]:
+        return config.shared_guarded_attrs
+
+    def _required(self, config: LintConfig) -> Tuple[str, ...]:
+        return config.cow_calls
+
+    def _message(self, qualname: str, attrs: str) -> str:
+        return (
+            f"{qualname} mutates shared-plane-backed state ({attrs}) "
+            "without reaching a copy-on-write call"
+        )
 
 
 def _literal_str_dict(node: ast.expr) -> Optional[Dict[str, Tuple[ast.expr, int]]]:
@@ -551,4 +622,5 @@ CONTRACT_RULES: Tuple[Type[ProjectRule], ...] = (
     DigestFieldPolicyRule,
     ImportCycleRule,
     DeadPrivateCodeRule,
+    SharedMutationRule,
 )

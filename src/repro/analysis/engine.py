@@ -151,6 +151,24 @@ class LintConfig:
     )
     #: Scopes where unreferenced private functions are reported (R016).
     dead_code_scopes: Tuple[str, ...] = ("repro/",)
+    #: Modules whose classes may hold shared-memory-backed state (R017).
+    shared_mutation_scopes: Tuple[str, ...] = ("repro/network/",)
+    #: ``self.<attr>`` names that may alias shared-plane segments; mutating
+    #: them must go through a copy-on-write call first (R017).
+    shared_guarded_attrs: Tuple[str, ...] = (
+        "locations",
+        "alive",
+        "residual_energy_j",
+        "_points",
+    )
+    #: Function names that count as the copy-on-write API (R017): they
+    #: privatize (or deliberately install) the shared arrays, so methods
+    #: reaching one — and the hooks themselves — are compliant.
+    cow_calls: Tuple[str, ...] = (
+        "_ensure_private_node_state",
+        "_ensure_private_points",
+        "adopt_shared_arrays",
+    )
 
 
 def _normalize(path: str) -> str:

@@ -86,6 +86,15 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print cache hit rates and per-stage wall time after the run",
     )
+    experiment_options.add_argument(
+        "--no-shared-plane",
+        action="store_true",
+        help=(
+            "disable the zero-copy shared-memory network plane (workers "
+            "rebuild deployments instead of attaching; results are "
+            "byte-identical either way — this is the A/B switch)"
+        ),
+    )
     for name in _FIGURE_COMMANDS:
         subparsers.add_parser(
             name, parents=[experiment_options], help=f"regenerate {name}"
@@ -237,26 +246,48 @@ def _write_json(
     progress(f"wrote {path}")
 
 
+def _rss_divisor(platform: str) -> float:
+    """``ru_maxrss`` unit divisor to MiB: KiB on Linux, bytes on macOS."""
+    return 1024.0 * 1024.0 if platform == "darwin" else 1024.0
+
+
+def _format_peak_rss(
+    self_mib: float, worker_mib: float, shared_mib: float
+) -> str:
+    """Render the one-line memory telemetry message.
+
+    The shared-memory plane's segments are mapped into every process, so
+    naive per-process RSS sums would count them once per worker; they are
+    reported once, as their own component, instead.
+    """
+    message = f"peak RSS: {self_mib:.0f} MiB"
+    if worker_mib > 0.0:
+        message += f" (largest worker {worker_mib:.0f} MiB)"
+    if shared_mib > 0.0:
+        message += f" (shared={shared_mib:.0f} MiB, counted once)"
+    return message
+
+
 def _report_peak_rss(progress) -> None:
     """Report peak resident set size via ``progress`` (stderr, not stdout).
 
     Memory telemetry for the large-scale sweeps; stdout stays reserved for
     results so CI can diff serial vs parallel runs byte-for-byte.  Worker
     processes are accounted separately — ``ru_maxrss`` of reaped children
-    is the largest single worker, not their sum.
+    is the largest single worker, not their sum — and shared-memory plane
+    segments are accounted once (they back every process's mapping).
     """
     try:
         import resource
     except ImportError:  # non-POSIX platform
         return
-    # ru_maxrss is KiB on Linux, bytes on macOS.
-    divisor = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    from repro.perf.shm import peak_published_bytes
+
+    divisor = _rss_divisor(sys.platform)
     peak_self = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / divisor
     peak_child = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss / divisor
-    message = f"peak RSS: {peak_self:.0f} MiB"
-    if peak_child > 0.0:
-        message += f" (largest worker {peak_child:.0f} MiB)"
-    progress(message)
+    shared_mib = peak_published_bytes() / (1024.0 * 1024.0)
+    progress(_format_peak_rss(peak_self, peak_child, shared_mib))
 
 
 def _run_lint(args: argparse.Namespace) -> int:
@@ -347,6 +378,11 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_lint(args)
     if args.command == "fuzz":
         return _run_fuzz(args)
+
+    if getattr(args, "no_shared_plane", False):
+        from repro.perf.shm import set_shared_plane_enabled
+
+        set_shared_plane_enabled(False)
 
     config = _make_config(args)
     progress = (lambda msg: None) if args.quiet else (

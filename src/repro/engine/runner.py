@@ -1,4 +1,13 @@
-"""Running one multicast task through the discrete-event simulator."""
+"""Running one multicast task through the discrete-event simulator.
+
+The engine never writes a network's state arrays directly: every mutation
+it performs (node failures via ``failed_node_ids``, energy drain through
+the meter) goes through :class:`~repro.network.graph.WirelessNetwork`'s
+mutators, which copy-on-write when the network is a zero-copy view over
+the shared-memory plane (:mod:`repro.perf.shm`).  That keeps pool workers'
+``fail_node``/``move_node``/``drain_energy`` effects worker-local while
+the published segments stay byte-identical for every other attacher.
+"""
 
 from __future__ import annotations
 

@@ -40,6 +40,7 @@ from repro.experiments.sweep import (
 )
 from repro.perf.counters import GLOBAL_COUNTERS, merge_worker_perf
 from repro.perf.parallel import ProgressFn, run_units
+from repro.perf.shm import SharedNetworkPlane, shared_plane_enabled
 from repro.sessions.workload import MulticastTask, generate_tasks
 from repro.simkit.rng import RandomStreams
 
@@ -316,9 +317,35 @@ def run_scale_sweep(
             f"{units[index][6][0]}"
         )
 
-    outputs = run_units(
-        run_scale_unit, units, workers=workers, progress=progress, describe=describe
-    )
+    # Publish each deployment to the shared-memory plane once, before the
+    # fan-out, so pool workers attach zero-copy views instead of each
+    # rebuilding every network (the plane is a no-op when disabled, and
+    # serial runs skip it — cached_network already shares in-process).
+    plane = SharedNetworkPlane(seed=base.master_seed)
+    try:
+        if workers > 1 and len(units) > 1 and shared_plane_enabled():
+            for node_count in scl.node_counts:
+                cfg_n = scaled_config(base, node_count)
+                for net_index in range(scl.network_count):
+                    plane.publish(
+                        (cfg_n, net_index, None), cached_network(cfg_n, net_index)
+                    )
+            if progress is not None and plane.active:
+                progress(
+                    f"published {len(plane.manifests())} deployment(s) "
+                    f"({plane.published_bytes() / 1048576.0:.1f} MiB) to the "
+                    f"shared-memory plane"
+                )
+        outputs = run_units(
+            run_scale_unit,
+            units,
+            workers=workers,
+            progress=progress,
+            describe=describe,
+            plane=plane,
+        )
+    finally:
+        plane.close()
     merge_worker_perf(
         (delta for _, delta in outputs),
         used_pool=workers > 1 and len(units) > 1,

@@ -27,6 +27,7 @@ from repro.experiments.config import PaperConfig
 from repro.experiments.scale import scaled_config
 from repro.experiments.sweep import ProtocolSpec
 from repro.perf.parallel import ProgressFn
+from repro.perf.shm import SharedNetworkPlane, shared_plane_enabled
 from repro.sessions.arrivals import (
     ArrivalProcess,
     BurstyArrivals,
@@ -237,35 +238,48 @@ def run_sessions_sweep(
     scl = scale or SESSIONS_SMOKE
     sweep = SessionsSweep(config=base, scale=scl)
     budget = stop_after if stop_after > 0 else None
-    for cell in session_cells(scl):
-        node_count, arrival, spec = cell
-        if budget is not None and budget <= 0:
-            sweep.truncated = True
-            break
-        cell_config = scaled_config(base, node_count)
-        workload = cell_workload(base, node_count, arrival)
-        target = scl.sessions_per_cell
-        if budget is not None and budget < target:
-            target = budget
-            sweep.truncated = True
-        if progress is not None:
-            progress(f"cell n={node_count} {arrival} {spec[0]}: {target} sessions")
-        report = run_session_stream(
-            workload,
-            spec,
-            cell_config,
-            total_sessions=scl.sessions_per_cell if budget is None else target,
-            engine=EngineConfig(max_path_length=cell_config.max_path_length),
-            workers=workers,
-            epsilon=scl.epsilon,
-            checkpoint=_cell_store(checkpoint_dir, scl, cell),
-            checkpoint_every=scl.checkpoint_every,
-            progress=progress,
-        )
-        if budget is not None:
-            budget -= report.completed
-        if report.completed == scl.sessions_per_cell:
-            sweep.reports[cell] = report
+    # One sweep-wide shared-memory plane: cells at the same node count share
+    # a deployment, so publishing happens once per node count (publish is
+    # idempotent per key) and every cell's pool attaches the same segments.
+    plane: Optional[SharedNetworkPlane] = None
+    if workers > 1 and shared_plane_enabled():
+        plane = SharedNetworkPlane(seed=base.master_seed)
+    try:
+        for cell in session_cells(scl):
+            node_count, arrival, spec = cell
+            if budget is not None and budget <= 0:
+                sweep.truncated = True
+                break
+            cell_config = scaled_config(base, node_count)
+            workload = cell_workload(base, node_count, arrival)
+            target = scl.sessions_per_cell
+            if budget is not None and budget < target:
+                target = budget
+                sweep.truncated = True
+            if progress is not None:
+                progress(
+                    f"cell n={node_count} {arrival} {spec[0]}: {target} sessions"
+                )
+            report = run_session_stream(
+                workload,
+                spec,
+                cell_config,
+                total_sessions=scl.sessions_per_cell if budget is None else target,
+                engine=EngineConfig(max_path_length=cell_config.max_path_length),
+                workers=workers,
+                epsilon=scl.epsilon,
+                checkpoint=_cell_store(checkpoint_dir, scl, cell),
+                checkpoint_every=scl.checkpoint_every,
+                progress=progress,
+                plane=plane,
+            )
+            if budget is not None:
+                budget -= report.completed
+            if report.completed == scl.sessions_per_cell:
+                sweep.reports[cell] = report
+    finally:
+        if plane is not None:
+            plane.close()
     return sweep
 
 

@@ -14,6 +14,7 @@ This module also hosts the pieces shared by the parallel experiment engine
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine import DEFAULT_ENGINE_CONFIG, EngineConfig, TaskResult, run_task
@@ -27,6 +28,7 @@ from repro.routing.grd import GRDProtocol
 from repro.routing.lgs import LGSProtocol
 from repro.routing.pbm import PBMProtocol
 from repro.routing.smt import SMTProtocol
+from repro.perf.shm import attached_network
 from repro.simkit.rng import RandomStreams
 
 #: A picklable protocol description: ``(name,)`` or ``("PBM", lam)``.
@@ -82,7 +84,9 @@ def make_network(
 
 
 #: Per-process deployment memo (see :func:`cached_network`).
-_NETWORK_MEMO: Dict[Tuple[PaperConfig, int, Optional[int]], WirelessNetwork] = {}
+_NETWORK_MEMO: "OrderedDict[Tuple[PaperConfig, int, Optional[int]], WirelessNetwork]" = (
+    OrderedDict()
+)
 _NETWORK_MEMO_CAP = 64
 
 
@@ -96,16 +100,27 @@ def cached_network(
     Parallel work units are sharded finer than one-unit-per-network (one per
     network x k x protocol), so each worker would otherwise rebuild the same
     deployment dozens of times.  Deployments are deterministic in the key and
-    immutable in use, so sharing one instance is safe; the memo is bounded
-    (FIFO) to keep long many-density sessions from accumulating networks.
+    immutable in use, so sharing one instance is safe; the memo is a bounded
+    LRU — hits move the entry to the back, eviction takes the *least
+    recently used* front — so long many-density sessions neither accumulate
+    networks without bound nor evict the deployment they are actively using.
+
+    Before building, a miss consults the shared-memory plane
+    (:func:`repro.perf.shm.attached_network`): when the parent published
+    this deployment, the worker attaches a zero-copy view instead of
+    rebuilding — bit-identical state for a fraction of the warm-up.
     """
     key = (config, network_index, node_count)
     network = _NETWORK_MEMO.get(key)
+    if network is not None:
+        _NETWORK_MEMO.move_to_end(key)
+        return network
+    network = attached_network(key)
     if network is None:
         network = make_network(config, network_index, node_count=node_count)
-        if len(_NETWORK_MEMO) >= _NETWORK_MEMO_CAP:
-            _NETWORK_MEMO.pop(next(iter(_NETWORK_MEMO)))
-        _NETWORK_MEMO[key] = network
+    if len(_NETWORK_MEMO) >= _NETWORK_MEMO_CAP:
+        _NETWORK_MEMO.popitem(last=False)
+    _NETWORK_MEMO[key] = network
     return network
 
 

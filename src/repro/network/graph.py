@@ -24,7 +24,18 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    MutableSequence,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+    overload,
+)
 
 import networkx as nx
 import numpy as np
@@ -62,7 +73,10 @@ class SpatialGrid:
             raise ValueError(f"cell size must be positive, got {cell_size}")
         self._cell_size = cell_size
         self._cells: Dict[Tuple[int, int], List[int]] = {}
-        self._points = list(points)
+        # A list of Points on built grids; the shared (n, 2) coordinate
+        # array on grids attached over a shared-memory plane (same values,
+        # same indexing — converted back to a list on first relocation).
+        self._points: Union[List[Point], np.ndarray] = list(points)
         for idx, p in enumerate(self._points):
             self._cells.setdefault(self._cell_of(p), []).append(idx)
         # Tight per-cell bounds (min_x, min_y, max_x, max_y) over members,
@@ -115,6 +129,7 @@ class SpatialGrid:
         fresh build produces — so queries against a mutated grid return
         hits in exactly the order a rebuilt grid would.
         """
+        self._ensure_private_points()
         old_cell = self._cell_of(self._points[idx])
         members = self._cells.get(old_cell)
         if members is None or idx not in members:
@@ -129,6 +144,108 @@ class SpatialGrid:
         target = self._cells.setdefault(new_cell, [])
         bisect.insort(target, idx)
         self._refresh_cell(new_cell)
+
+    # ------------------------------------------------------------------
+    # Shared-memory plane support (see repro.perf.shm)
+    # ------------------------------------------------------------------
+
+    def packed_arrays(self) -> Dict[str, np.ndarray]:
+        """The occupied cells flattened into plane-mappable flat arrays.
+
+        Cells are emitted in sorted key order: ``grid_cells[i]`` is the
+        key of the cell whose members occupy
+        ``grid_members[grid_indptr[i]:grid_indptr[i+1]]`` (the coordinate
+        slices of ``grid_xs``/``grid_ys`` are aligned with it), with the
+        tight per-cell bounds in ``grid_bounds[i]``.
+        """
+        cells = sorted(self._cells)
+        parts = [self._member_arrays[cell] for cell in cells]
+        counts = np.fromiter(
+            (part[0].shape[0] for part in parts), dtype=np.intp, count=len(parts)
+        )
+        indptr = np.zeros(len(parts) + 1, dtype=np.intp)
+        np.cumsum(counts, out=indptr[1:])
+        return {
+            "grid_cells": np.array(cells, dtype=np.int64),
+            "grid_indptr": indptr,
+            "grid_members": np.concatenate([part[0] for part in parts]),
+            "grid_xs": np.concatenate([part[1] for part in parts]),
+            "grid_ys": np.concatenate([part[2] for part in parts]),
+            "grid_bounds": np.array(
+                [self._bounds[cell] for cell in cells], dtype=float
+            ),
+        }
+
+    @classmethod
+    def from_packed(
+        cls,
+        points: np.ndarray,
+        cell_size: float,
+        arrays: Dict[str, np.ndarray],
+    ) -> "SpatialGrid":
+        """Rebuild a grid over mapped arrays — the attach-side twin of ``__init__``.
+
+        Member *arrays* are zero-copy slices of the mapped buffers; member
+        *lists* (the bulk-accept path and the mutation bookkeeping) are
+        materialized as plain ints — exactly what a fresh build holds, so
+        query results, and their order, are indistinguishable from a
+        rebuilt grid's.
+        """
+        grid = cls.__new__(cls)
+        grid._cell_size = float(cell_size)
+        grid._points = points
+        grid._cells = {}
+        grid._bounds = {}
+        grid._member_arrays = {}
+        starts = arrays["grid_indptr"].tolist()
+        bounds = arrays["grid_bounds"]
+        members = arrays["grid_members"]
+        xs = arrays["grid_xs"]
+        ys = arrays["grid_ys"]
+        for i, key_row in enumerate(arrays["grid_cells"].tolist()):
+            cell = (int(key_row[0]), int(key_row[1]))
+            lo, hi = starts[i], starts[i + 1]
+            grid._cells[cell] = members[lo:hi].tolist()
+            row = bounds[i]
+            grid._bounds[cell] = (
+                float(row[0]),
+                float(row[1]),
+                float(row[2]),
+                float(row[3]),
+            )
+            grid._member_arrays[cell] = (members[lo:hi], xs[lo:hi], ys[lo:hi])
+        return grid
+
+    def adopt_member_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Swap per-cell member/coordinate arrays for shared views.
+
+        Called on the *publishing* side right after the plane copies this
+        grid's packed arrays into a segment: values are bit-identical,
+        only the backing storage changes, so no derived state needs
+        recomputing and the private copies are freed.
+        """
+        starts = arrays["grid_indptr"].tolist()
+        members = arrays["grid_members"]
+        xs = arrays["grid_xs"]
+        ys = arrays["grid_ys"]
+        for i, key_row in enumerate(arrays["grid_cells"].tolist()):
+            cell = (int(key_row[0]), int(key_row[1]))
+            lo, hi = starts[i], starts[i + 1]
+            self._member_arrays[cell] = (members[lo:hi], xs[lo:hi], ys[lo:hi])
+
+    def _ensure_private_points(self) -> None:
+        """Copy-on-write for the point table of an attached (shared) grid.
+
+        The attach path leaves ``_points`` as the mapped coordinate array;
+        the first relocation converts it back to the private list of
+        Points a fresh build holds.  Values are unchanged, so every
+        derived structure stays exact — nothing to invalidate (R012
+        exempts the configured copy-on-write hooks for exactly this
+        reason); reprolint R017 pins that relocations reach this before
+        writing.
+        """
+        if isinstance(self._points, np.ndarray):
+            self._points = [Point(float(p[0]), float(p[1])) for p in self._points]
 
     def indices_within(self, center: Point, radius: float) -> List[int]:
         """Indices of points within ``radius`` of ``center`` (inclusive)."""
@@ -309,8 +426,80 @@ class CSRAdjacency:
         self._tuples[node_id] = None
 
 
+class _SharedNodeList(MutableSequence[SensorNode]):
+    """Lazily-materialized node objects over a shared coordinate array.
+
+    An attached network maps its coordinates zero-copy; building all n
+    ``SensorNode`` objects eagerly would cost more than the whole attach.
+    Slots materialize on first access and are then pinned, so callers
+    that rely on object identity (planarization lambdas, ``to_networkx``)
+    see stable nodes.  The only mutation the network performs is
+    ``move_node``'s single-slot overwrite; structural edits are refused —
+    a deployment's node count is fixed for its lifetime.
+    """
+
+    __slots__ = ("_locations", "_nodes")
+
+    def __init__(self, locations: np.ndarray) -> None:
+        self._locations = locations
+        self._nodes: List[Optional[SensorNode]] = [None] * int(locations.shape[0])
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @overload
+    def __getitem__(self, index: int) -> SensorNode: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> MutableSequence[SensorNode]: ...
+
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[SensorNode, MutableSequence[SensorNode]]:
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self._nodes)))]
+        if index < 0:
+            index += len(self._nodes)
+        if not 0 <= index < len(self._nodes):
+            raise IndexError("node index out of range")
+        node = self._nodes[index]
+        if node is None:
+            row = self._locations[index]
+            node = SensorNode(
+                node_id=index, location=Point(float(row[0]), float(row[1]))
+            )
+            self._nodes[index] = node
+        return node
+
+    @overload
+    def __setitem__(self, index: int, value: SensorNode) -> None: ...
+
+    @overload
+    def __setitem__(self, index: slice, value: Iterable[SensorNode]) -> None: ...
+
+    def __setitem__(
+        self,
+        index: Union[int, slice],
+        value: Union[SensorNode, Iterable[SensorNode]],
+    ) -> None:
+        if isinstance(index, slice) or not isinstance(value, SensorNode):
+            raise TypeError("only single-slot node assignment is supported")
+        self._nodes[index] = value
+
+    def __delitem__(self, index: Union[int, slice]) -> None:
+        raise TypeError("a deployment's node count is fixed")
+
+    def insert(self, index: int, value: SensorNode) -> None:
+        raise TypeError("a deployment's node count is fixed")
+
+
 class WirelessNetwork:
     """A deployed sensor network: nodes, links, and planar overlays."""
+
+    #: Object view of the nodes — a plain list on built networks, a
+    #: lazily-materializing :class:`_SharedNodeList` on attached ones
+    #: (identical indexing and iteration behavior).
+    nodes: MutableSequence[SensorNode]
 
     def __init__(
         self,
@@ -321,7 +510,7 @@ class WirelessNetwork:
         if not points:
             raise ValueError("a network needs at least one node")
         self.radio = radio
-        self.nodes: List[SensorNode] = [
+        self.nodes = [
             SensorNode(node_id=i, location=Point(float(p[0]), float(p[1])))
             for i, p in enumerate(points)
         ]
@@ -350,6 +539,10 @@ class WirelessNetwork:
         self._neighbor_arrays: List[Optional[np.ndarray]] = [None] * count
         self._nx_graph: Optional[nx.Graph] = None
         self._failed: Set[int] = set()
+        # True while the flat node-state arrays are views of a shared-memory
+        # segment (attached worker view, or the parent after publishing);
+        # the first mutation copies them private (_ensure_private_node_state).
+        self._shared_state = False
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -478,11 +671,96 @@ class WirelessNetwork:
         """
         if joules < 0.0:
             raise ValueError(f"cannot drain a negative amount ({joules})")
+        self._ensure_private_node_state()
         remaining = self.residual_energy_j[node_id] - joules
         if remaining < 0.0:
             remaining = 0.0
         self.residual_energy_j[node_id] = remaining
         return float(remaining)
+
+    # ------------------------------------------------------------------
+    # Shared-memory plane support (see repro.perf.shm)
+    # ------------------------------------------------------------------
+
+    def shared_state_arrays(self) -> Optional[Dict[str, np.ndarray]]:
+        """The flat arrays a shared-memory plane serializes, or ``None``.
+
+        ``None`` marks the network non-publishable: built through the
+        legacy object-graph path (no SoA guarantees), or already mutated
+        (failures / CSR row overrides) — a mutated deployment is
+        worker-local by definition and must never be shared.  Planar
+        overlays are included only when already materialized; attachers
+        rebuild them lazily otherwise, bit-identically.
+        """
+        if not self._soa or self._failed or self._adjacency._overrides:
+            return None
+        arrays: Dict[str, np.ndarray] = {
+            "locations": self.locations,
+            "alive": self.alive,
+            "residual_energy": self.residual_energy_j,
+            "adjacency_indptr": self._adjacency.indptr,
+            "adjacency_indices": self._adjacency.indices,
+        }
+        arrays.update(self._grid.packed_arrays())
+        if self._gabriel_csr is not None and not self._gabriel_csr._overrides:
+            arrays["gabriel_indptr"] = self._gabriel_csr.indptr
+            arrays["gabriel_indices"] = self._gabriel_csr.indices
+        if self._rng_csr is not None and not self._rng_csr._overrides:
+            arrays["rng_indptr"] = self._rng_csr.indptr
+            arrays["rng_indices"] = self._rng_csr.indices
+        return arrays
+
+    def adopt_shared_arrays(
+        self, arrays: Dict[str, np.ndarray]
+    ) -> None:
+        """Re-point this network's flat state at published shared views.
+
+        Called by ``repro.perf.shm.SharedNetworkPlane.publish`` right
+        after copying this network's arrays into a segment: the parent
+        drops its private copies and reads the same mapped bytes workers
+        attach, so each deployment's node state is resident once per
+        machine rather than once per process.  Every value is
+        bit-identical to the array it replaces, so all derived caches
+        remain exact — there is nothing to invalidate (R012 exempts the
+        configured copy-on-write hooks); the first subsequent mutation
+        goes through the same copy-on-write path as an attached network's.
+        """
+        self.locations = arrays["locations"]
+        self.alive = arrays["alive"]
+        self.residual_energy_j = arrays["residual_energy"]
+        self._adjacency.indptr = arrays["adjacency_indptr"]
+        self._adjacency.indices = arrays["adjacency_indices"]
+        if self._gabriel_csr is not None and "gabriel_indptr" in arrays:
+            self._gabriel_csr.indptr = arrays["gabriel_indptr"]
+            self._gabriel_csr.indices = arrays["gabriel_indices"]
+        if self._rng_csr is not None and "rng_indptr" in arrays:
+            self._rng_csr.indptr = arrays["rng_indptr"]
+            self._rng_csr.indices = arrays["rng_indices"]
+        self._grid.adopt_member_arrays(arrays)
+        self._shared_state = True
+
+    def _ensure_private_node_state(self) -> None:
+        """Copy-on-write: make the flat node state private before a write.
+
+        No-op on ordinary networks.  On a shared-backed one (attached, or
+        the publishing parent after :meth:`adopt_shared_arrays`) this
+        copies the mutable per-node arrays out of the mapped segment, so
+        worker-local failures, moves and energy drains never touch bytes
+        other processes read.  Values are unchanged, so derived caches
+        stay exact and nothing needs invalidating (R012 exempts the
+        configured copy-on-write hooks); reprolint R017 enforces that
+        every mutator of
+        shared-capable arrays reaches this first.  The CSR adjacency and
+        grid member arrays stay shared: their mutation paths are already
+        copy-on-write (sparse ``set_row`` overrides; per-cell refreshes
+        that *replace* entries instead of writing in place).
+        """
+        if not self._shared_state:
+            return
+        self.locations = self.locations.copy()
+        self.alive = self.alive.copy()
+        self.residual_energy_j = self.residual_energy_j.copy()
+        self._shared_state = False
 
     # ------------------------------------------------------------------
     # Mutation (node failures and mobility) with cache invalidation
@@ -515,6 +793,7 @@ class WirelessNetwork:
         """
         if node_id in self._failed:
             raise ValueError(f"node {node_id} has already failed")
+        self._ensure_private_node_state()
         former = self._adjacency.row_tuple(node_id)
         self._failed.add(node_id)
         self.alive[node_id] = False
@@ -538,6 +817,7 @@ class WirelessNetwork:
         """
         if node_id in self._failed:
             raise ValueError(f"cannot move failed node {node_id}")
+        self._ensure_private_node_state()
         new_location = Point(float(new_location[0]), float(new_location[1]))
         old_neighbors = self._adjacency.row_tuple(node_id)
         self.nodes[node_id] = SensorNode(node_id=node_id, location=new_location)
@@ -646,3 +926,53 @@ def build_network(
 ) -> WirelessNetwork:
     """Convenience constructor with Table-1 radio defaults."""
     return WirelessNetwork(list(points), radio or RadioConfig())
+
+
+def attach_shared_network(
+    radio: RadioConfig, arrays: Dict[str, np.ndarray]
+) -> WirelessNetwork:
+    """Reconstruct a read-only ``WirelessNetwork`` over mapped plane buffers.
+
+    The attach-side twin of :meth:`WirelessNetwork.shared_state_arrays`
+    (the plane in ``repro.perf.shm`` provides ``arrays`` as read-only
+    views of a ``multiprocessing.shared_memory`` segment): node state,
+    the CSR adjacency, any published planar overlays and the spatial
+    grid's member arrays are used zero-copy; node objects materialize
+    lazily; and every derived cache starts empty and fills exactly as a
+    fresh build's would — so queries, traces and digests are
+    byte-identical to a network built from scratch.  Mutators copy node
+    state private on first write (:meth:`_ensure_private_node_state`),
+    keeping the mapped segment immutable.
+    """
+    network = WirelessNetwork.__new__(WirelessNetwork)
+    network.radio = radio
+    network.locations = arrays["locations"]
+    network.alive = arrays["alive"]
+    network.residual_energy_j = arrays["residual_energy"]
+    count = int(network.locations.shape[0])
+    network.nodes = _SharedNodeList(network.locations)
+    network._grid = SpatialGrid.from_packed(
+        network.locations, radio.radio_range_m, arrays
+    )
+    network._soa = True
+    network._adjacency = CSRAdjacency(
+        arrays["adjacency_indptr"], arrays["adjacency_indices"]
+    )
+    network._neighbor_sets = [None] * count
+    network._gabriel_cache = {}
+    network._rng_cache = {}
+    network._gabriel_csr = (
+        CSRAdjacency(arrays["gabriel_indptr"], arrays["gabriel_indices"])
+        if "gabriel_indptr" in arrays
+        else None
+    )
+    network._rng_csr = (
+        CSRAdjacency(arrays["rng_indptr"], arrays["rng_indices"])
+        if "rng_indptr" in arrays
+        else None
+    )
+    network._neighbor_arrays = [None] * count
+    network._nx_graph = None
+    network._failed = set()
+    network._shared_state = True
+    return network

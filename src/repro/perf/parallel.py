@@ -11,14 +11,49 @@ how many workers execute it.  That holds because
 
 Worker processes keep per-process memos (see
 :func:`repro.experiments.sweep.cached_network`), so each worker reconstructs
-a given network once and reuses it across all units it executes.
+a given network once and reuses it across all units it executes.  When the
+caller passes a published :class:`repro.perf.shm.SharedNetworkPlane`, the
+pool initializer additionally hands every worker the plane's manifests, and
+``cached_network`` *attaches* the parent's deployments zero-copy instead of
+rebuilding them — results are byte-identical either way (the plane maps the
+exact bytes a fresh build produces).
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:
+    from repro.perf.shm import PlaneManifest, SharedNetworkPlane
 
 ProgressFn = Callable[[str], None]
+
+
+def _plane_initializer(
+    plane: "Optional[SharedNetworkPlane]",
+) -> Tuple[Optional[Callable[..., None]], Tuple[Any, ...]]:
+    """``(initializer, initargs)`` publishing a plane's manifests to workers.
+
+    ``(None, ())`` — a no-op initializer — when no plane was provided or
+    nothing is published on it, so pools behave exactly as before the
+    shared-memory plane existed.
+    """
+    if plane is None or not plane.active:
+        return None, ()
+    from repro.perf.shm import install_worker_manifests
+
+    manifests: "dict[Any, PlaneManifest]" = plane.manifests()
+    return install_worker_manifests, (manifests,)
 
 
 def run_units(
@@ -27,6 +62,7 @@ def run_units(
     workers: int = 1,
     progress: Optional[ProgressFn] = None,
     describe: Optional[Callable[[int], str]] = None,
+    plane: "Optional[SharedNetworkPlane]" = None,
 ) -> List[Any]:
     """Run ``fn(*args)`` for every args tuple, results in submission order.
 
@@ -38,6 +74,9 @@ def run_units(
         workers: Process count; ``<= 1`` means serial in-process execution.
         progress: Optional callback, invoked once per completed unit.
         describe: Optional unit-index -> label used in progress messages.
+        plane: Optional published shared-memory plane; its manifests reach
+            every worker via the pool initializer so ``cached_network``
+            attaches deployments instead of rebuilding them.
 
     Returns:
         ``[fn(*args) for args in args_list]`` — bit-identical regardless of
@@ -58,8 +97,11 @@ def run_units(
 
     from concurrent.futures import ProcessPoolExecutor
 
+    initializer, initargs = _plane_initializer(plane)
     results = [None] * len(args_list)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=initializer, initargs=initargs
+    ) as pool:
         futures = [pool.submit(fn, *args) for args in args_list]
         # Collect by submission index — canonical merge order; completion
         # order (which is scheduling-dependent) never influences output.
@@ -74,6 +116,7 @@ def stream_units(
     args_iter: Iterable[Tuple[Any, ...]],
     workers: int = 1,
     window: int = 0,
+    plane: "Optional[SharedNetworkPlane]" = None,
 ) -> Iterator[Any]:
     """Streaming :func:`run_units`: unbounded input, bounded in-flight work.
 
@@ -95,6 +138,8 @@ def stream_units(
         window: Maximum in-flight units when pooled (default:
             ``4 * workers``).  Larger windows hide worker latency jitter;
             the result order never changes.
+        plane: Optional published shared-memory plane, forwarded to the
+            pool initializer exactly as in :func:`run_units`.
 
     Yields:
         ``fn(*args)`` per input tuple, in submission order.
@@ -110,7 +155,10 @@ def stream_units(
     if window <= 0:
         window = 4 * workers
     window = max(window, workers)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    initializer, initargs = _plane_initializer(plane)
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=initializer, initargs=initargs
+    ) as pool:
         pending: "deque[Any]" = deque()
         for args in args_iter:
             while len(pending) >= window:

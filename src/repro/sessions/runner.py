@@ -36,6 +36,7 @@ from repro.engine.digest import task_digest
 from repro.experiments.config import PaperConfig
 from repro.perf.counters import GLOBAL_COUNTERS, merge_worker_perf
 from repro.perf.parallel import ProgressFn, stream_units
+from repro.perf.shm import SharedNetworkPlane, shared_plane_enabled
 from repro.sessions.arrivals import SessionRequest, SessionWorkload, StreamCursor
 from repro.sessions.sketches import StreamStats
 from repro.sessions.store import CheckpointStore
@@ -231,6 +232,7 @@ def run_session_stream(
     checkpoint_every: int = 0,
     progress: Optional[ProgressFn] = None,
     on_sessions_done: Optional[Callable[[int], None]] = None,
+    plane: Optional[SharedNetworkPlane] = None,
 ) -> SessionReport:
     """Run ``total_sessions`` sessions of ``workload`` under one protocol.
 
@@ -256,6 +258,10 @@ def run_session_stream(
         on_sessions_done: Called with the cumulative completed-session
             count after each fold batch — the operator layer's throughput
             hook (wall-clock stays outside this module).
+        plane: Shared-memory plane for the pool workers.  ``None`` with
+            ``workers > 1`` makes the stream publish (and own) one for its
+            deployment; a caller-provided plane is published into but left
+            open — the sweep layer shares a single plane across cells.
 
     Returns:
         The deterministic :class:`SessionReport`.
@@ -325,39 +331,58 @@ def run_session_stream(
             )
 
     pooled = workers > 1
+    owns_plane = False
+    if pooled and completed < total_sessions and shared_plane_enabled():
+        if plane is None:
+            plane = SharedNetworkPlane(seed=config.master_seed)
+            owns_plane = True
+        # Publish (idempotent per key) the one deployment every chunk of
+        # this stream re-derives, so workers attach instead of rebuilding.
+        from repro.experiments.sweep import cached_network
+
+        plane.publish((config, net_index, None), cached_network(config, net_index))
+
     since_snapshot = 0
-    for outcomes, perf_delta in stream_units(
-        run_session_chunk, chunk_args(), workers=workers, window=window
-    ):
-        arrivals, cursor_after = side.popleft()
-        merge_worker_perf([perf_delta], used_pool=pooled)
-        for outcome, arrival_s in zip(outcomes, arrivals):
-            chain_hex = fold_chain(chain_hex, outcome, arrival_s)
-            stats.observe(
-                latency_s=outcome.latency_s,
-                delivery_ratio=outcome.delivery_ratio,
-                energy_joules=outcome.energy_joules,
-                tree_cost=float(outcome.transmissions),
-                delivered=outcome.delivered,
-                requested=outcome.requested,
-            )
-        completed += len(outcomes)
-        since_snapshot += len(outcomes)
-        cursor = cursor_after
-        if on_sessions_done is not None:
-            on_sessions_done(completed)
-        if (
-            checkpoint is not None
-            and checkpoint_every > 0
-            and since_snapshot >= checkpoint_every
+    try:
+        for outcomes, perf_delta in stream_units(
+            run_session_chunk,
+            chunk_args(),
+            workers=workers,
+            window=window,
+            plane=plane,
         ):
-            checkpoint.save(
-                identity,
-                _checkpoint_payload(cursor, completed, chain_hex, stats),
-            )
-            since_snapshot = 0
-            if progress is not None:
-                progress(f"checkpoint at {completed} sessions")
+            arrivals, cursor_after = side.popleft()
+            merge_worker_perf([perf_delta], used_pool=pooled)
+            for outcome, arrival_s in zip(outcomes, arrivals):
+                chain_hex = fold_chain(chain_hex, outcome, arrival_s)
+                stats.observe(
+                    latency_s=outcome.latency_s,
+                    delivery_ratio=outcome.delivery_ratio,
+                    energy_joules=outcome.energy_joules,
+                    tree_cost=float(outcome.transmissions),
+                    delivered=outcome.delivered,
+                    requested=outcome.requested,
+                )
+            completed += len(outcomes)
+            since_snapshot += len(outcomes)
+            cursor = cursor_after
+            if on_sessions_done is not None:
+                on_sessions_done(completed)
+            if (
+                checkpoint is not None
+                and checkpoint_every > 0
+                and since_snapshot >= checkpoint_every
+            ):
+                checkpoint.save(
+                    identity,
+                    _checkpoint_payload(cursor, completed, chain_hex, stats),
+                )
+                since_snapshot = 0
+                if progress is not None:
+                    progress(f"checkpoint at {completed} sessions")
+    finally:
+        if owns_plane and plane is not None:
+            plane.close()
 
     if checkpoint is not None:
         checkpoint.save(

@@ -1,4 +1,4 @@
-"""Cache-invalidation corpus: one compliant mutator, one violation (R012)."""
+"""Mutation corpus: compliant mutators and one violation each (R012, R017)."""
 
 
 class Grid:
@@ -14,3 +14,18 @@ class Grid:
 
     def _invalidate(self):
         pass
+
+
+class Plane:
+    def adopt(self, xs):
+        self._xs = xs
+
+    def scale(self, factor):
+        self._xs = [x * factor for x in self._xs]
+
+    def shift(self, dx):
+        self._materialize()
+        self._xs = [x + dx for x in self._xs]
+
+    def _materialize(self):
+        self._xs = list(self._xs)

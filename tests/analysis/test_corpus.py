@@ -4,7 +4,7 @@
 each whole-program rule (see its README).  Linting it with the
 corpus-scoped config must report precisely those findings — no more, no
 less — which pins both the triggers and the false-positive behavior of
-R011–R016 against real multi-module input.
+R011–R017 against real multi-module input.
 """
 
 from __future__ import annotations
@@ -24,6 +24,9 @@ CORPUS_CONFIG = LintConfig(
     mutation_scopes=("proj/net/",),
     mutation_guarded_attrs=("_cells",),
     invalidation_calls=("_invalidate",),
+    shared_mutation_scopes=("proj/net/",),
+    shared_guarded_attrs=("_xs",),
+    cow_calls=("_materialize", "adopt"),
     kernel_modules=("proj/perf/kernels.py",),
     kernel_test_scopes=("proj/perf_tests/",),
     digest_policy_modules=("proj/engine/digest.py",),
@@ -50,6 +53,7 @@ def test_exact_finding_set(corpus_report):
         ("R015", "cyc_a.py", 1),
         ("R014", "records.py", 10),
         ("R012", "graph.py", 12),
+        ("R017", "graph.py", 23),
         ("R013", "kernels.py", 14),
         ("R013", "kernels.py", 14),
         ("R016", "chain.py", 10),
@@ -102,6 +106,13 @@ def test_mutation_finding_names_the_attribute(corpus_report):
     (finding,) = _by_rule(corpus_report, "R012")
     assert "proj.net.graph.Grid.drop" in finding.message
     assert "'_cells'" in finding.message
+
+
+def test_shared_mutation_finding_names_the_attribute(corpus_report):
+    (finding,) = _by_rule(corpus_report, "R017")
+    assert "proj.net.graph.Plane.scale" in finding.message
+    assert "'_xs'" in finding.message
+    assert "copy-on-write" in finding.message
 
 
 def test_digest_finding_names_the_field(corpus_report):

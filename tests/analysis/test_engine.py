@@ -197,8 +197,8 @@ class TestEngine:
         with pytest.raises(KeyError):
             default_registry().create_rules(only=["R999"])
 
-    def test_sixteen_builtin_rules(self):
-        assert default_registry().rule_ids() == [f"R{n:03d}" for n in range(1, 17)]
+    def test_seventeen_builtin_rules(self):
+        assert default_registry().rule_ids() == [f"R{n:03d}" for n in range(1, 18)]
 
     def test_analyze_paths_walks_directories(self, tmp_path):
         package = tmp_path / "src" / "repro" / "routing"

@@ -291,6 +291,31 @@ CASES: Dict[str, RuleCase] = {
             "    return _helper()\n"
         ),
     ),
+    "R017": RuleCase(
+        path="src/repro/network/fixture.py",
+        bad=(
+            "class Net:\n"
+            "    def kill(self, idx):\n"
+            "        self.alive[idx] = False\n"
+            "        self._invalidate_node(idx)\n"
+            "\n"
+            "    def _invalidate_node(self, idx):\n"
+            "        pass\n"
+        ),
+        good=(
+            "class Net:\n"
+            "    def kill(self, idx):\n"
+            "        self._ensure_private_node_state()\n"
+            "        self.alive[idx] = False\n"
+            "        self._invalidate_node(idx)\n"
+            "\n"
+            "    def _ensure_private_node_state(self):\n"
+            "        self.alive = self.alive.copy()\n"
+            "\n"
+            "    def _invalidate_node(self, idx):\n"
+            "        pass\n"
+        ),
+    ),
 }
 
 

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import main
+from repro.cli import _format_peak_rss, _rss_divisor, main
 
 
 class TestCLI:
@@ -119,3 +119,39 @@ class TestFuzzCLI:
     def test_fuzz_rejects_non_positive_budget(self, capsys):
         assert main(["fuzz", "--budget", "0", "--quiet"]) == 2
         assert "budget" in capsys.readouterr().err
+
+
+class TestPeakRssReport:
+    def test_divisor_is_bytes_on_darwin_kib_elsewhere(self):
+        # ru_maxrss is reported in bytes on macOS, KiB on Linux.
+        assert _rss_divisor("darwin") == 1024.0 * 1024.0
+        assert _rss_divisor("linux") == 1024.0
+        assert _rss_divisor("freebsd") == 1024.0
+
+    def test_format_self_only(self):
+        assert _format_peak_rss(312.4, 0.0, 0.0) == "peak RSS: 312 MiB"
+
+    def test_format_includes_worker_and_shared_components(self):
+        message = _format_peak_rss(312.0, 55.6, 12.3)
+        assert message.startswith("peak RSS: 312 MiB")
+        assert "largest worker 56 MiB" in message
+        assert "shared=12 MiB" in message
+        assert "counted once" in message
+
+
+class TestSharedPlaneFlag:
+    def test_no_shared_plane_disables_the_plane(self):
+        from repro.perf.shm import set_shared_plane_enabled, shared_plane_enabled
+
+        assert shared_plane_enabled()
+        try:
+            assert main(["config", "--no-shared-plane"]) == 0
+            assert not shared_plane_enabled()
+        finally:
+            set_shared_plane_enabled(True)
+
+    def test_plane_enabled_by_default(self):
+        from repro.perf.shm import shared_plane_enabled
+
+        assert main(["config"]) == 0
+        assert shared_plane_enabled()

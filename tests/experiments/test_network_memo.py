@@ -1,0 +1,54 @@
+"""``cached_network``'s bounded LRU memo (experiments.sweep).
+
+Regression for the eviction order: the memo must evict the *least
+recently used* entry, not the oldest-inserted one — a long sessions sweep
+touches its active deployment constantly and must never lose it to
+churn from other cells.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import sweep as sweep_mod
+from repro.experiments.config import PaperConfig
+from repro.experiments.sweep import cached_network
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    saved = dict(sweep_mod._NETWORK_MEMO)
+    sweep_mod._NETWORK_MEMO.clear()
+    yield
+    sweep_mod._NETWORK_MEMO.clear()
+    sweep_mod._NETWORK_MEMO.update(saved)
+
+
+def test_memo_hit_returns_the_same_instance():
+    config = PaperConfig()
+    network = cached_network(config, 0, node_count=1)
+    assert cached_network(config, 0, node_count=1) is network
+
+
+def test_cap_evicts_least_recently_used_not_oldest():
+    config = PaperConfig()
+    cap = sweep_mod._NETWORK_MEMO_CAP
+    networks = [cached_network(config, i, node_count=1) for i in range(cap)]
+    # Touch the oldest-inserted entry: it becomes most recently used.
+    assert cached_network(config, 0, node_count=1) is networks[0]
+    # The next insert must evict index 1 (the true LRU), not index 0.
+    cached_network(config, cap, node_count=1)
+    assert len(sweep_mod._NETWORK_MEMO) == cap
+    assert (config, 0, 1) in sweep_mod._NETWORK_MEMO
+    assert (config, 1, 1) not in sweep_mod._NETWORK_MEMO
+    assert (config, cap, 1) in sweep_mod._NETWORK_MEMO
+    # The survivor is still the memoized instance, not a rebuild.
+    assert cached_network(config, 0, node_count=1) is networks[0]
+
+
+def test_memo_stays_bounded_under_churn():
+    config = PaperConfig()
+    cap = sweep_mod._NETWORK_MEMO_CAP
+    for i in range(cap + 7):
+        cached_network(config, i, node_count=1)
+    assert len(sweep_mod._NETWORK_MEMO) == cap

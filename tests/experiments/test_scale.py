@@ -19,6 +19,7 @@ from repro.experiments.scale import (
     scaled_config,
 )
 from repro.perf.kernels import vectorized_disabled
+from repro.perf.shm import shared_plane_disabled
 from repro.perf.soa import soa_disabled
 
 #: Small enough for tier-1 wall clock, large enough to shard across workers.
@@ -100,8 +101,17 @@ class TestScaleSweep:
                 assert sweep.delivery_ratio(label, n, k) == pytest.approx(1.0)
 
     def test_parallel_workers_bit_identical(self, sweep):
+        """Pooled with the shared plane on (the default): same digest."""
         parallel = run_scale_sweep(PaperConfig(), _TINY, workers=3, include_grd=False)
         assert parallel.digest() == sweep.digest()
+
+    def test_shared_plane_off_pooled_bit_identical(self, sweep):
+        """Pooled with the plane disabled (workers rebuild): same digest."""
+        with shared_plane_disabled():
+            rebuilt = run_scale_sweep(
+                PaperConfig(), _TINY, workers=3, include_grd=False
+            )
+        assert rebuilt.digest() == sweep.digest()
 
     def test_vectorized_off_bit_identical(self, sweep):
         with vectorized_disabled():

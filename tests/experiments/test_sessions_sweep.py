@@ -52,6 +52,16 @@ def test_sweep_serial_equals_pooled(config):
     )
 
 
+def test_sweep_pooled_plane_off_equals_serial(config):
+    """The A/B switch: pooled workers rebuilding instead of attaching."""
+    from repro.perf.shm import shared_plane_disabled
+
+    serial = run_sessions_sweep(config, TINY)
+    with shared_plane_disabled():
+        rebuilt = run_sessions_sweep(config, TINY, workers=2)
+    assert rebuilt.digest() == serial.digest()
+
+
 def test_sweep_report_and_table(config):
     sweep = run_sessions_sweep(config, TINY)
     assert not sweep.truncated
